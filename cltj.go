@@ -1,0 +1,213 @@
+// Package cltj is a Go implementation of "Flexible Caching in Trie Joins"
+// (Kalinsky, Etsion, Kimelfeld; EDBT 2017): CLFTJ, the Leapfrog Trie Join
+// extended with optional, bounded, adhesion-keyed caches derived from a
+// tree decomposition that is strongly compatible with the variable order.
+//
+// The facade covers the common workflows:
+//
+//	db := cltj.NewDB(cltj.MustRelation("E", 2, edges))
+//	q, err := cltj.ParseQuery("E(x,y), E(y,z), E(x,z)")  // or build atoms
+//	n, err := cltj.Count(q, db, cltj.Options{})          // CLFTJ, auto TD
+//	n, err = cltj.CountLFTJ(q, db, nil)                  // vanilla LFTJ
+//	n, err = cltj.CountYTD(q, db, nil)                   // Yannakakis+TD
+//
+// Lower-level control (explicit TDs, orders, policies, counters) lives in
+// the internal packages re-exported through the aliases below; see
+// DESIGN.md for the system inventory.
+package cltj
+
+import (
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/factorized"
+	"repro/internal/genericjoin"
+	"repro/internal/leapfrog"
+	"repro/internal/pairwise"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/td"
+	"repro/internal/yannakakis"
+)
+
+// Re-exported building blocks. The aliases keep one import path for
+// applications while the implementation stays in focused packages.
+type (
+	// Query is a full conjunctive query (no projection).
+	Query = cq.Query
+	// Atom is one subgoal R(t1,...,tk).
+	Atom = cq.Atom
+	// Term is an atom argument: variable or constant.
+	Term = cq.Term
+	// Relation is a sorted, duplicate-free integer relation.
+	Relation = relation.Relation
+	// DB is a named collection of relations.
+	DB = relation.DB
+	// TD is an ordered tree decomposition.
+	TD = td.TD
+	// Plan is a compiled CLFTJ plan (query + TD + order + tries).
+	Plan = core.Plan
+	// Policy configures CLFTJ's cache behaviour.
+	Policy = core.Policy
+	// Counters accumulates memory-access and cache statistics.
+	Counters = stats.Counters
+	// FactorizedSet is a factorized (d-)representation of a result set,
+	// as produced by Plan.EvalFactorized.
+	FactorizedSet = factorized.Set
+)
+
+// Semiring is a commutative semiring for Aggregate (§6 extension).
+type Semiring[T any] = core.Semiring[T]
+
+// VarWeight assigns a semiring weight to a (depth, value) pair.
+type VarWeight[T any] = core.VarWeight[T]
+
+// Aggregate computes ⊕_{µ∈q(D)} ⊗_d w(d, µ(x_d)) over the plan with
+// CLFTJ's caches holding subtree aggregates — the paper's §6 extension
+// to general aggregate operators. CountSemiring + UnitWeight recovers
+// Count.
+func Aggregate[T any](p *Plan, policy Policy, sr Semiring[T], w VarWeight[T]) T {
+	return core.Aggregate(p, policy, sr, w)
+}
+
+// CountSemiring is (ℕ, +, ×); SumProductSemiring is (ℝ, +, ×);
+// TropicalSemiring is (ℝ∪{∞}, min, +). UnitWeight weighs everything One.
+func CountSemiring() Semiring[int64]        { return core.CountSemiring() }
+func SumProductSemiring() Semiring[float64] { return core.SumProductSemiring() }
+func TropicalSemiring() Semiring[float64]   { return core.TropicalSemiring() }
+
+// UnitWeight returns the all-One weight function for sr.
+func UnitWeight[T any](sr Semiring[T]) VarWeight[T] { return core.UnitWeight(sr) }
+
+// Eviction modes for bounded caches.
+const (
+	EvictFIFO = core.EvictFIFO
+	EvictNone = core.EvictNone
+	EvictLRU  = core.EvictLRU
+)
+
+// NewQuery builds a query from atoms.
+func NewQuery(atoms ...Atom) *Query { return cq.New(atoms...) }
+
+// ParseQuery reads a query from the conventional comma-separated atom
+// syntax, e.g. "E(x,y), E(y,z), R(z, 42)".
+func ParseQuery(input string) (*Query, error) { return cq.Parse(input) }
+
+// NewAtom builds an atom whose arguments are all variables.
+func NewAtom(rel string, vars ...string) Atom { return cq.NewAtom(rel, vars...) }
+
+// V returns a variable term; C returns a constant term.
+func V(name string) Term { return cq.V(name) }
+
+// C returns a constant term.
+func C(v int64) Term { return cq.C(v) }
+
+// NewRelation builds a relation from tuples (copied, sorted, deduped).
+func NewRelation(name string, arity int, tuples [][]int64) (*Relation, error) {
+	return relation.New(name, arity, tuples)
+}
+
+// MustRelation is NewRelation but panics on error.
+func MustRelation(name string, arity int, tuples [][]int64) *Relation {
+	return relation.MustNew(name, arity, tuples)
+}
+
+// NewDB builds a database over the given relations.
+func NewDB(rels ...*Relation) *DB { return relation.NewDB(rels...) }
+
+// Options configures the automatic CLFTJ entry points.
+type Options struct {
+	// Policy is the cache policy (zero value: unbounded caches that
+	// store every intermediate result).
+	Policy Policy
+	// TD forces a specific tree decomposition; nil selects one
+	// automatically per the paper's §4 heuristics.
+	TD *TD
+	// Order forces a variable order (must be strongly compatible with
+	// the TD); nil derives one from the TD.
+	Order []string
+	// Counters receives memory-access accounting (may be nil).
+	Counters *Counters
+}
+
+// NewPlan compiles a CLFTJ plan per the options (automatic TD selection
+// when opts.TD is nil).
+func NewPlan(q *Query, db *DB, opts Options) (*Plan, error) {
+	if opts.TD == nil {
+		return core.AutoPlan(q, db, core.AutoOptions{Counters: opts.Counters})
+	}
+	order := opts.Order
+	if order == nil {
+		qvars := q.Vars()
+		for _, xi := range opts.TD.CompatibleOrder(len(qvars)) {
+			order = append(order, qvars[xi])
+		}
+	}
+	return core.NewPlan(q, db, opts.TD, order, opts.Counters)
+}
+
+// Count evaluates |q(D)| with CLFTJ.
+func Count(q *Query, db *DB, opts Options) (int64, error) {
+	plan, err := NewPlan(q, db, opts)
+	if err != nil {
+		return 0, err
+	}
+	return plan.Count(opts.Policy).Count, nil
+}
+
+// Eval enumerates q(D) with CLFTJ; emit receives assignments aligned
+// with the plan's variable order (reused slice; copy to retain) and may
+// return false to stop. It returns the order used.
+func Eval(q *Query, db *DB, opts Options, emit func(mu []int64) bool) ([]string, error) {
+	plan, err := NewPlan(q, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	plan.Eval(opts.Policy, emit)
+	return plan.Order(), nil
+}
+
+// CountLFTJ evaluates |q(D)| with vanilla LFTJ under the query's natural
+// variable order. counters may be nil.
+func CountLFTJ(q *Query, db *DB, counters *Counters) (int64, error) {
+	inst, err := leapfrog.Build(q, db, q.Vars(), counters)
+	if err != nil {
+		return 0, err
+	}
+	return leapfrog.Count(inst), nil
+}
+
+// CountYTD evaluates |q(D)| with Yannakakis over an automatically
+// selected tree decomposition. counters may be nil.
+func CountYTD(q *Query, db *DB, counters *Counters) (int64, error) {
+	tree, _ := td.Select(q, td.Options{}, td.DefaultCostConfig(len(q.Vars())))
+	return yannakakis.Count(q, db, tree, counters)
+}
+
+// CountPairwise evaluates |q(D)| with the traditional pairwise hash-join
+// baseline. counters may be nil.
+func CountPairwise(q *Query, db *DB, counters *Counters) (int64, error) {
+	res, err := pairwise.Count(q, db, counters)
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// CountGenericJoin evaluates |q(D)| with the hash-based NPRR/GenericJoin
+// worst-case-optimal algorithm [17,18]. counters may be nil.
+func CountGenericJoin(q *Query, db *DB, counters *Counters) (int64, error) {
+	return genericjoin.Count(q, db, counters)
+}
+
+// EnumerateTDs returns candidate ordered tree decompositions of q,
+// biased toward small adhesions (§4).
+func EnumerateTDs(q *Query) []*TD {
+	return td.Enumerate(q, td.Options{})
+}
+
+// NewTD assembles an ordered tree decomposition from bags of variable
+// indices (per Query.VarIndex) and parent pointers (-1 for the root).
+// Validate it against a query with TD.Validate.
+func NewTD(bags [][]int, parent []int) (*TD, error) {
+	return td.New(bags, parent)
+}

@@ -1,0 +1,253 @@
+// Command cltj runs a single query against an edge-list graph with a
+// chosen join algorithm, reporting the count (or tuples), runtime and
+// memory-access statistics.
+//
+// Usage:
+//
+//	cltj -query 5-cycle -data graph.txt [-algo clftj|lftj|ytd|pairwise]
+//	     [-eval] [-cache N] [-support N] [-symmetric] [-show-td]
+//
+// The query flag accepts k-path, k-cycle, k-clique, {c,t}-lollipop (as
+// "lollipop-c-t") and "rand-N-P-SEED". Without -data, a built-in skewed
+// sample graph is used.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/dataset"
+	"repro/internal/leapfrog"
+	"repro/internal/pairwise"
+	"repro/internal/queries"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/td"
+	"repro/internal/yannakakis"
+)
+
+// relFlags collects repeated -rel name=path flags.
+type relFlags []string
+
+func (r *relFlags) String() string { return strings.Join(*r, ",") }
+func (r *relFlags) Set(v string) error {
+	*r = append(*r, v)
+	return nil
+}
+
+func main() {
+	queryFlag := flag.String("query", "4-cycle", "query: k-path, k-cycle, k-clique, lollipop-c-t, rand-N-P-SEED")
+	qFlag := flag.String("q", "", "explicit query text, e.g. 'E(x,y), E(y,z), E(x,z)' (overrides -query)")
+	var rels relFlags
+	flag.Var(&rels, "rel", "load a relation from a whitespace-delimited file: -rel R=path (repeatable)")
+	dataFlag := flag.String("data", "", "edge-list file for relation E (default: built-in skewed sample graph)")
+	algoFlag := flag.String("algo", "clftj", "algorithm: clftj, lftj, ytd, pairwise")
+	evalFlag := flag.Bool("eval", false, "enumerate tuples instead of counting (prints the first few)")
+	cacheFlag := flag.Int("cache", 0, "CLFTJ cache capacity (0 = unbounded)")
+	supportFlag := flag.Int("support", 0, "CLFTJ support threshold")
+	symFlag := flag.Bool("symmetric", false, "treat edges as undirected (add both directions)")
+	showTD := flag.Bool("show-td", false, "print the selected tree decomposition")
+	flag.Parse()
+
+	var q *cq.Query
+	var err error
+	if *qFlag != "" {
+		q, err = cq.Parse(*qFlag)
+	} else {
+		q, err = parseQuery(*queryFlag)
+	}
+	if err != nil {
+		fail(err)
+	}
+
+	var db *relation.DB
+	if len(rels) > 0 {
+		db = relation.NewDB()
+		for _, spec := range rels {
+			name, path, ok := strings.Cut(spec, "=")
+			if !ok {
+				fail(fmt.Errorf("bad -rel %q, want name=path", spec))
+			}
+			f, err := os.Open(path)
+			if err != nil {
+				fail(err)
+			}
+			r, err := relation.LoadRelation(name, f, relation.LoadOptions{Comment: "#"})
+			f.Close()
+			if err != nil {
+				fail(err)
+			}
+			db.Put(r)
+			fmt.Printf("relation %s: %d tuples (arity %d)\n", name, r.Len(), r.Arity())
+		}
+		fmt.Printf("query: %s\n", q)
+	} else {
+		g, err := loadGraph(*dataFlag)
+		if err != nil {
+			fail(err)
+		}
+		db = g.DB(*symFlag)
+		fmt.Printf("graph %s: %d nodes, %d edges; query: %s\n", g.Name, g.N, g.NumEdges(), q)
+	}
+
+	var c stats.Counters
+	policy := core.Policy{Capacity: *cacheFlag, SupportThreshold: *supportFlag}
+	start := time.Now()
+	var count int64
+	switch *algoFlag {
+	case "clftj":
+		plan, err := core.AutoPlan(q, db, core.AutoOptions{Counters: &c})
+		if err != nil {
+			fail(err)
+		}
+		if *showTD {
+			fmt.Printf("selected TD (order %v):\n%s", plan.Order(), plan.TD())
+		}
+		start = time.Now()
+		if *evalFlag {
+			count = evalSome(plan.Order(), func(emit func([]int64) bool) {
+				plan.Eval(policy, emit)
+			})
+		} else {
+			count = plan.Count(policy).Count
+		}
+	case "lftj":
+		inst, err := leapfrog.Build(q, db, q.Vars(), &c)
+		if err != nil {
+			fail(err)
+		}
+		start = time.Now()
+		if *evalFlag {
+			count = evalSome(inst.Order(), func(emit func([]int64) bool) {
+				leapfrog.Eval(inst, emit)
+			})
+		} else {
+			count = leapfrog.Count(inst)
+		}
+	case "ytd":
+		tree, _ := td.Select(q, td.Options{}, td.DefaultCostConfig(len(q.Vars())))
+		if *showTD {
+			fmt.Printf("selected TD:\n%s", tree)
+		}
+		e, err := yannakakis.New(q, db, tree, &c)
+		if err != nil {
+			fail(err)
+		}
+		if *evalFlag {
+			count = evalSome(q.Vars(), func(emit func([]int64) bool) { e.Eval(emit) })
+		} else {
+			count = e.Count()
+		}
+	case "pairwise":
+		if *evalFlag {
+			vars := q.Vars()
+			count = evalSome(vars, func(emit func([]int64) bool) {
+				if err := pairwise.Eval(q, db, &c, emit); err != nil {
+					fail(err)
+				}
+			})
+		} else {
+			res, err := pairwise.Count(q, db, &c)
+			if err != nil {
+				fail(err)
+			}
+			count = res.Count
+		}
+	default:
+		fail(fmt.Errorf("unknown algorithm %q", *algoFlag))
+	}
+	dur := time.Since(start)
+
+	verb := "count"
+	if *evalFlag {
+		verb = "results"
+	}
+	fmt.Printf("%s: %d\ntime: %s\naccesses: %s\n", verb, count, dur.Round(time.Microsecond), c.String())
+	if c.CacheHits+c.CacheMisses > 0 {
+		fmt.Printf("cache hit rate: %.2f\n", c.HitRate())
+	}
+}
+
+// evalSome drives an evaluation, printing the first 5 tuples and
+// returning the total.
+func evalSome(order []string, run func(emit func([]int64) bool)) int64 {
+	var n int64
+	run(func(mu []int64) bool {
+		if n < 5 {
+			parts := make([]string, len(mu))
+			for i, v := range mu {
+				parts[i] = fmt.Sprintf("%s=%d", order[i], v)
+			}
+			fmt.Println("  " + strings.Join(parts, " "))
+		}
+		n++
+		return true
+	})
+	if n > 5 {
+		fmt.Printf("  ... (%d more)\n", n-5)
+	}
+	return n
+}
+
+func parseQuery(s string) (*cq.Query, error) {
+	parts := strings.Split(s, "-")
+	switch {
+	case len(parts) == 2 && parts[1] == "path":
+		k, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad path query %q", s)
+		}
+		return queries.Path(k), nil
+	case len(parts) == 2 && parts[1] == "cycle":
+		k, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad cycle query %q", s)
+		}
+		return queries.Cycle(k), nil
+	case len(parts) == 2 && parts[1] == "clique":
+		k, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad clique query %q", s)
+		}
+		return queries.Clique(k), nil
+	case len(parts) == 3 && parts[0] == "lollipop":
+		c, err1 := strconv.Atoi(parts[1])
+		t, err2 := strconv.Atoi(parts[2])
+		if err1 != nil || err2 != nil {
+			return nil, fmt.Errorf("bad lollipop query %q", s)
+		}
+		return queries.Lollipop(c, t), nil
+	case len(parts) == 4 && parts[0] == "rand":
+		n, err1 := strconv.Atoi(parts[1])
+		p, err2 := strconv.ParseFloat(parts[2], 64)
+		seed, err3 := strconv.ParseInt(parts[3], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return nil, fmt.Errorf("bad random query %q", s)
+		}
+		return queries.Random(n, p, seed), nil
+	}
+	return nil, fmt.Errorf("unknown query %q (try 5-cycle, 4-path, lollipop-3-2, rand-5-0.4-7)", s)
+}
+
+func loadGraph(path string) (*dataset.Graph, error) {
+	if path == "" {
+		return dataset.WikiVote(1), nil
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return dataset.Load(path, f)
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "cltj:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,53 @@
+// Command figures regenerates every experiment table of the paper's
+// evaluation (§5) over the synthetic workloads and prints them to stdout
+// (or a file). See DESIGN.md for the experiment index and EXPERIMENTS.md
+// for recorded paper-vs-measured comparisons.
+//
+// Usage:
+//
+//	figures [-quick] [-scale N] [-only E2] [-o out.txt]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/dataset"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "use small datasets so the suite runs in seconds")
+	scale := flag.Int("scale", 1, "dataset scale factor (ignored with -quick)")
+	only := flag.String("only", "", "run only experiments whose ID contains this substring (e.g. 'Fig. 10')")
+	out := flag.String("o", "", "write tables to this file instead of stdout")
+	flag.Parse()
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "figures:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	cfg := bench.Config{Quick: *quick, Scale: dataset.Scale(*scale)}
+	start := time.Now()
+	n := 0
+	for _, e := range bench.Experiments() {
+		if *only != "" && !strings.Contains(e.ID, *only) {
+			continue
+		}
+		fmt.Fprintln(w, e.Run(cfg).String())
+		n++
+	}
+	fmt.Fprintf(w, "generated %d experiment tables in %s (quick=%v scale=%d)\n",
+		n, time.Since(start).Round(time.Millisecond), *quick, *scale)
+}

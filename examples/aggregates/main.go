@@ -1,0 +1,77 @@
+// Aggregates: the paper's §6 extension to general aggregate operators,
+// here over three semirings. On a product-copurchase-style graph we
+// count 4-path patterns (counting semiring), estimate a probabilistic
+// pattern weight (sum-product semiring over per-node reliabilities), and
+// find the cheapest witness (tropical semiring) — all through the same
+// cached trie-join, with the caches storing subtree aggregates instead
+// of counts.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cltj "repro"
+	"repro/internal/dataset"
+	"repro/internal/queries"
+)
+
+func main() {
+	g := dataset.TriadicPA(400, 4, 0.5, 2024)
+	db := g.DB(false)
+	q := queries.Path(4)
+	fmt.Printf("graph: %d nodes, %d edges; query: %s\n\n", g.N, g.NumEdges(), q)
+
+	plan, err := cltj.NewPlan(q, db, cltj.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 1. Counting semiring: plain CachedTJCount.
+	sr := cltj.CountSemiring()
+	start := time.Now()
+	count := cltj.Aggregate(plan, cltj.Policy{}, sr, cltj.UnitWeight(sr))
+	fmt.Printf("count semiring:        |q(D)| = %d  (%.2fms)\n",
+		count, ms(start))
+
+	// 2. Sum-product semiring: each node v "succeeds" with probability
+	// 1/(1+v mod 4); the aggregate is the expected number of fully
+	// successful pattern matches.
+	sp := cltj.SumProductSemiring()
+	prob := func(d int, v int64) float64 { return 1 / (1 + float64(v%4)) }
+	start = time.Now()
+	expected := cltj.Aggregate(plan, cltj.Policy{}, sp, prob)
+	fmt.Printf("sum-product semiring:  expected matches = %.2f  (%.2fms)\n",
+		expected, ms(start))
+
+	// 3. Tropical semiring: node v costs v; the aggregate is the total
+	// cost of the cheapest pattern occurrence.
+	tr := cltj.TropicalSemiring()
+	cost := func(d int, v int64) float64 { return float64(v) }
+	start = time.Now()
+	cheapest := cltj.Aggregate(plan, cltj.Policy{}, tr, cost)
+	fmt.Printf("tropical semiring:     cheapest witness cost = %.0f  (%.2fms)\n",
+		cheapest, ms(start))
+
+	// The same computation with caching disabled shows what the caches
+	// save even for non-count aggregates.
+	start = time.Now()
+	cltj.Aggregate(plan, cltj.Policy{Disabled: true}, sr, cltj.UnitWeight(sr))
+	uncached := ms(start)
+	start = time.Now()
+	cltj.Aggregate(plan, cltj.Policy{}, sr, cltj.UnitWeight(sr))
+	cached := ms(start)
+	fmt.Printf("\ncaching speedup on the count aggregate: %.1fx (%.2fms -> %.2fms)\n",
+		uncached/cached, uncached, cached)
+
+	// Factorized materialization (§3.4): the full result as a shared
+	// d-representation, far smaller than the flat tuple set.
+	set := plan.EvalFactorized(cltj.Policy{})
+	fmt.Printf("\nfactorized result: %d tuples represented by %d entries (%.1fx compression)\n",
+		set.Count(), set.NumEntries(), float64(set.Count())/float64(set.NumEntries()))
+}
+
+func ms(start time.Time) float64 {
+	return float64(time.Since(start).Microseconds()) / 1000
+}

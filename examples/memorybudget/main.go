@@ -1,0 +1,61 @@
+// Memorybudget: CLFTJ under bounded caches (§5.3.3, Fig. 10). The
+// example runs a 6-cycle count on an IMDB-like skewed database with a
+// sweep of cache capacities, demonstrating the paper's headline
+// flexibility claim: CLFTJ turns whatever memory it is allowed to use
+// into speedup, degrading gracefully to LFTJ at capacity zero — unlike
+// traditional engines, which need room for all intermediate results.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cltj "repro"
+	"repro/internal/dataset"
+	"repro/internal/queries"
+)
+
+func main() {
+	db := dataset.IMDBCast(dataset.IMDBConfig{
+		Persons: 1200, Movies: 400, Appearances: 6000, PersonSkew: 1.9, Seed: 7,
+	})
+	q := queries.IMDBCycle(3) // the paper's 6-cycle over male/female cast
+	fmt.Printf("query: %s\n\n", q)
+
+	run := func(pol cltj.Policy) (int64, time.Duration, cltj.Counters) {
+		var c cltj.Counters
+		plan, err := cltj.NewPlan(q, db, cltj.Options{Counters: &c})
+		if err != nil {
+			log.Fatal(err)
+		}
+		c.Reset()
+		start := time.Now()
+		res := plan.Count(pol)
+		return res.Count, time.Since(start), c
+	}
+
+	baseCount, baseDur, _ := run(cltj.Policy{Disabled: true})
+	fmt.Printf("%-12s  %10s  %8s  %9s  %9s\n", "capacity", "time ms", "speedup", "hit rate", "entries")
+	fmt.Printf("%-12s  %10.2f  %8s  %9s  %9s\n", "0 (LFTJ)",
+		float64(baseDur.Microseconds())/1000, "1.0x", "-", "-")
+
+	for _, capacity := range []int{64, 256, 1024, 4096, 16384, 0} {
+		label := fmt.Sprintf("%d", capacity)
+		if capacity == 0 {
+			label = "unbounded"
+		}
+		count, dur, c := run(cltj.Policy{Capacity: capacity})
+		if count != baseCount {
+			log.Fatalf("capacity %s: count %d, want %d", label, count, baseCount)
+		}
+		fmt.Printf("%-12s  %10.2f  %7.1fx  %9.2f  %9d\n",
+			label, float64(dur.Microseconds())/1000,
+			float64(baseDur)/float64(dur), c.HitRate(),
+			c.CacheInserts-c.CacheEvictions)
+	}
+
+	fmt.Println("\nSmall caches already capture most of the benefit because the")
+	fmt.Println("person_id attribute is heavily skewed: a handful of prolific")
+	fmt.Println("cast members account for most adhesion assignments.")
+}

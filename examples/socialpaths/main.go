@@ -1,0 +1,64 @@
+// Socialpaths: the paper's motivating scenario — counting long path
+// patterns on a skewed social graph, where vanilla LFTJ recomputes the
+// same suffixes over and over while CLFTJ caches them. The example
+// sweeps path lengths, compares runtimes and memory accesses, and shows
+// how the speedup grows with the query (Fig. 6's trend).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	cltj "repro"
+	"repro/internal/dataset"
+	"repro/internal/queries"
+)
+
+func main() {
+	// A preferential-attachment graph: a few celebrity hubs, many leaves —
+	// the degree skew that makes caching pay off.
+	g := dataset.PreferentialAttachment(500, 5, 42)
+	db := g.DB(false)
+	fmt.Printf("graph: %d nodes, %d directed edges\n\n", g.N, g.NumEdges())
+
+	fmt.Printf("%-8s  %12s  %10s  %10s  %8s  %14s\n",
+		"query", "count", "LFTJ ms", "CLFTJ ms", "speedup", "accesses saved")
+	for k := 3; k <= 6; k++ {
+		q := queries.Path(k)
+
+		var cL cltj.Counters
+		startL := time.Now()
+		countL, err := cltj.CountLFTJ(q, db, &cL)
+		if err != nil {
+			log.Fatal(err)
+		}
+		durL := time.Since(startL)
+
+		var cC cltj.Counters
+		plan, err := cltj.NewPlan(q, db, cltj.Options{Counters: &cC})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cC.Reset()
+		startC := time.Now()
+		resC := plan.Count(cltj.Policy{})
+		durC := time.Since(startC)
+
+		if countL != resC.Count {
+			log.Fatalf("engines disagree on %d-path: %d vs %d", k, countL, resC.Count)
+		}
+		saved := "-"
+		if tot := cC.Total(); tot > 0 {
+			saved = fmt.Sprintf("%.1fx", float64(cL.Total())/float64(tot))
+		}
+		fmt.Printf("%d-path    %12d  %10.2f  %10.2f  %7.1fx  %14s\n",
+			k, countL,
+			float64(durL.Microseconds())/1000, float64(durC.Microseconds())/1000,
+			float64(durL)/float64(durC), saved)
+	}
+
+	fmt.Println("\nCLFTJ counts long paths without enumerating them: each cached")
+	fmt.Println("bag stores the number of path suffixes per adhesion value, so")
+	fmt.Println("hub nodes are expanded once instead of once per incoming prefix.")
+}

@@ -1,0 +1,145 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/queries"
+)
+
+// The experiment drivers are exercised at Quick scale: every figure must
+// produce rows, engines must agree on counts within a row, and tables
+// must render.
+
+func TestRunnersAgree(t *testing.T) {
+	g := dataset.TriadicPA(60, 3, 0.5, 7)
+	db := g.DB(false)
+	q := queries.Cycle(4)
+	lftj := RunLFTJ(q, db, nil)
+	clftj := RunCLFTJ(q, db, core.Policy{})
+	ytd := RunYTD(q, db)
+	pw := RunPairwise(q, db)
+	if err := verifyCounts(lftj, clftj, ytd, pw); err != nil {
+		t.Fatal(err)
+	}
+	if lftj.Err != nil || clftj.Err != nil || ytd.Err != nil || pw.Err != nil {
+		t.Fatal("runner error")
+	}
+	if clftj.Counters.Total() == 0 {
+		t.Error("CLFTJ runner recorded no accesses")
+	}
+	evalL := RunLFTJEval(q, db)
+	evalC := RunCLFTJEval(q, db, core.Policy{})
+	evalY := RunYTDEval(q, db)
+	if err := verifyCounts(evalL, evalC, evalY, lftj); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasurementFormatting(t *testing.T) {
+	m := Measurement{Duration: 1500000} // 1.5ms
+	if got := m.ms(); got != "1.50" {
+		t.Errorf("ms = %q", got)
+	}
+	if got := (Measurement{Err: errMemoryBound}).ms(); got != "err" {
+		t.Errorf("err ms = %q", got)
+	}
+	base := Measurement{Duration: 3000000}
+	if got := m.Speedup(base); got != "2.0x" {
+		t.Errorf("Speedup = %q", got)
+	}
+	if got := m.Speedup(Measurement{Err: errMemoryBound}); got != "-" {
+		t.Errorf("Speedup vs err = %q", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := &Table{
+		ID:     "T",
+		Title:  "test",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	s := tbl.String()
+	for _, want := range []string{"== T: test ==", "333", "note: a note"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestAllExperimentsQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment suite skipped in -short mode")
+	}
+	cfg := Config{Quick: true}
+	for _, e := range Experiments() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			tbl := e.Run(cfg)
+			if tbl.ID != e.ID {
+				t.Errorf("table ID %q, registry ID %q", tbl.ID, e.ID)
+			}
+			if len(tbl.Rows) == 0 {
+				t.Fatal("no rows")
+			}
+			for _, row := range tbl.Rows {
+				if len(row) != len(tbl.Header) {
+					t.Errorf("row %v has %d cells, header has %d", row, len(row), len(tbl.Header))
+				}
+			}
+			if s := tbl.String(); !strings.Contains(s, tbl.ID) {
+				t.Error("rendering missing table ID")
+			}
+		})
+	}
+}
+
+func TestLollipopTDsValid(t *testing.T) {
+	q := queries.Lollipop(3, 2)
+	for name, tree := range lollipopTDs() {
+		if err := tree.Validate(q); err != nil {
+			t.Errorf("%s invalid: %v", name, err)
+		}
+	}
+}
+
+func TestIMDBTDsValid(t *testing.T) {
+	for _, k := range []int{2, 3} {
+		q := queries.IMDBCycle(k)
+		td1, td2 := imdbTDs(k, q)
+		if err := td1.Validate(q); err != nil {
+			t.Errorf("k=%d TD1 invalid: %v", k, err)
+		}
+		if err := td2.Validate(q); err != nil {
+			t.Errorf("k=%d TD2 invalid: %v", k, err)
+		}
+		// TD1's adhesions must be over persons, TD2's over movies.
+		idx := q.VarIndex()
+		isPerson := func(x int) bool {
+			for name, i := range idx {
+				if i == x {
+					return name[0] == 'p'
+				}
+			}
+			return false
+		}
+		for v := 0; v < td1.N(); v++ {
+			for _, x := range td1.Adhesion(v) {
+				if !isPerson(x) {
+					t.Errorf("k=%d TD1 adhesion contains movie variable", k)
+				}
+			}
+		}
+		for v := 0; v < td2.N(); v++ {
+			for _, x := range td2.Adhesion(v) {
+				if isPerson(x) {
+					t.Errorf("k=%d TD2 adhesion contains person variable", k)
+				}
+			}
+		}
+	}
+}

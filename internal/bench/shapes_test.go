@@ -1,0 +1,143 @@
+package bench
+
+// Shape tests assert the qualitative results of the paper's evaluation
+// on deterministic measures (memory-access counts, never wall time), at
+// Quick scale: who wins and roughly how. These are the claims the
+// repository's EXPERIMENTS.md records; the tests keep them true as the
+// code evolves.
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/queries"
+)
+
+func TestShapeCLFTJBeatsLFTJOnSkewedPaths(t *testing.T) {
+	// Fig. 6's trend: on a skewed graph, CLFTJ's memory accesses are far
+	// below LFTJ's for long paths, and the gap widens with path length.
+	g := dataset.TriadicPA(200, 4, 0.4, 1001)
+	db := g.DB(false)
+	prevRatio := 0.0
+	for _, k := range []int{4, 5, 6} {
+		q := queries.Path(k)
+		lftj := RunLFTJ(q, db, nil)
+		clftj := RunCLFTJ(q, db, core.Policy{})
+		if lftj.Count != clftj.Count {
+			t.Fatalf("%d-path: counts differ", k)
+		}
+		ratio := float64(lftj.Counters.Total()) / float64(clftj.Counters.Total())
+		if k >= 5 && ratio < 2 {
+			t.Errorf("%d-path: CLFTJ saves only %.2fx accesses", k, ratio)
+		}
+		if ratio < prevRatio {
+			t.Errorf("%d-path: access-saving ratio %.1fx below %d-path's %.1fx (should grow)",
+				k, ratio, k-1, prevRatio)
+		}
+		prevRatio = ratio
+	}
+}
+
+func TestShapeIntroOrderingOnClusteredGraph(t *testing.T) {
+	// §1's claim: on the collaboration-style graph, 5-cycle count costs
+	// LFTJ > YTD > CLFTJ in memory accesses.
+	g := dataset.CliqueUnion(150, 80, 10, 1.6, 1003)
+	db := g.DB(false)
+	q := queries.Cycle(5)
+	lftj := RunLFTJ(q, db, nil)
+	ytd := RunYTD(q, db)
+	clftj := RunCLFTJ(q, db, core.Policy{})
+	if err := verifyCounts(lftj, ytd, clftj); err != nil {
+		t.Fatal(err)
+	}
+	if !(lftj.Counters.Total() > ytd.Counters.Total()) {
+		t.Errorf("LFTJ accesses (%d) not above YTD (%d)", lftj.Counters.Total(), ytd.Counters.Total())
+	}
+	if !(ytd.Counters.Total() > clftj.Counters.Total()) {
+		t.Errorf("YTD accesses (%d) not above CLFTJ (%d)", ytd.Counters.Total(), clftj.Counters.Total())
+	}
+}
+
+func TestShapeTriangleHasNoDecomposition(t *testing.T) {
+	// §5.3.1: on 3-cycles CLFTJ is effectively LFTJ — identical trie
+	// traffic, no cache activity.
+	g := dataset.TriadicPA(150, 3, 0.4, 7)
+	db := g.DB(false)
+	q := queries.Cycle(3)
+	lftj := RunLFTJ(q, db, nil)
+	clftj := RunCLFTJ(q, db, core.Policy{})
+	if lftj.Count != clftj.Count {
+		t.Fatal("counts differ")
+	}
+	if clftj.Counters.CacheHits+clftj.Counters.CacheMisses != 0 {
+		t.Errorf("triangle query probed caches (%d lookups)",
+			clftj.Counters.CacheHits+clftj.Counters.CacheMisses)
+	}
+	if clftj.Counters.TrieAccesses != lftj.Counters.TrieAccesses {
+		t.Errorf("triangle trie accesses differ: CLFTJ %d vs LFTJ %d",
+			clftj.Counters.TrieAccesses, lftj.Counters.TrieAccesses)
+	}
+}
+
+func TestShapeCacheStructuresOrdering(t *testing.T) {
+	// Fig. 11: per cached intermediate result, 1-dimensional adhesions
+	// achieve higher hit rates than the 2-dimensional CS3 on the lollipop
+	// (the paper's "caches of dimension one are much more effective").
+	g := dataset.TriadicPA(260, 4, 0.45, 1005)
+	db := g.DB(false)
+	q := queries.Lollipop(3, 2)
+	numVars := len(q.Vars())
+	run := func(name string) Measurement {
+		tree := lollipopTDs()[name]
+		order := orderNames(q, tree.CompatibleOrder(numVars))
+		return RunCLFTJWith(q, db, tree, order, core.Policy{})
+	}
+	cs2 := run("CS2")
+	cs3 := run("CS3")
+	if err := verifyCounts(cs2, cs3); err != nil {
+		t.Fatal(err)
+	}
+	if !(cs2.Counters.Total() < cs3.Counters.Total()) {
+		t.Errorf("CS2 accesses (%d) not below CS3 (%d)", cs2.Counters.Total(), cs3.Counters.Total())
+	}
+}
+
+func TestShapeIMDBPersonVsMovieCaches(t *testing.T) {
+	// Fig. 13/14: person-keyed TD1 needs far fewer accesses than the
+	// isomorphic movie-keyed TD2.
+	cfg := Config{Quick: true}
+	db := cfg.imdb()
+	q := queries.IMDBCycle(2)
+	numVars := len(q.Vars())
+	td1, td2 := imdbTDs(2, q)
+	m1 := RunCLFTJWith(q, db, td1, orderNames(q, td1.CompatibleOrder(numVars)), core.Policy{})
+	m2 := RunCLFTJWith(q, db, td2, orderNames(q, td2.CompatibleOrder(numVars)), core.Policy{})
+	if err := verifyCounts(m1, m2); err != nil {
+		t.Fatal(err)
+	}
+	if !(m1.Counters.Total() < m2.Counters.Total()) {
+		t.Errorf("TD1 accesses (%d) not below TD2 (%d)", m1.Counters.Total(), m2.Counters.Total())
+	}
+}
+
+func TestShapeBoundedCachesHelpMonotonically(t *testing.T) {
+	// Fig. 10: growing the capacity never increases trie accesses (more
+	// reuse can only skip more work) on the IMDB workload.
+	cfg := Config{Quick: true}
+	db := cfg.imdb()
+	q := queries.IMDBCycle(2)
+	prev := int64(-1)
+	for _, capacity := range []int{0, 8, 64, 512} {
+		pol := core.Policy{Capacity: capacity}
+		if capacity == 0 {
+			pol = core.Policy{Disabled: true}
+		}
+		m := RunCLFTJ(q, db, pol)
+		if prev >= 0 && m.Counters.TrieAccesses > prev+prev/10 {
+			t.Errorf("capacity %d: trie accesses %d regressed above %d",
+				capacity, m.Counters.TrieAccesses, prev)
+		}
+		prev = m.Counters.TrieAccesses
+	}
+}

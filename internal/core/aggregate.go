@@ -1,0 +1,163 @@
+package core
+
+import "repro/internal/leapfrog"
+
+// This file implements the paper's §6 extension direction "general
+// aggregate operators (e.g., based on the work of Joglekar et al. [10]
+// and Khamis et al. [11])": CLFTJ over an arbitrary commutative semiring.
+// The count algorithm of Fig. 2 is the special case over (ℕ, +, ×) with
+// unit weights; the same multivalued dependency that justifies caching
+// counts justifies caching any semiring aggregate of the subtree, because
+// the per-variable weights factor along the decomposition.
+
+// Semiring is a commutative semiring (T, Add, Mul, Zero, One). Add and
+// Mul must be associative and commutative, Mul must distribute over Add,
+// Zero must annihilate Mul and be the unit of Add, One the unit of Mul.
+type Semiring[T any] struct {
+	Zero T
+	One  T
+	Add  func(a, b T) T
+	Mul  func(a, b T) T
+	// IsZero optionally recognizes the annihilator so cached dead
+	// subtrees prune the scan (nil disables the optimization).
+	IsZero func(a T) bool
+}
+
+// CountSemiring is the counting semiring (ℕ, +, ×).
+func CountSemiring() Semiring[int64] {
+	return Semiring[int64]{
+		Zero:   0,
+		One:    1,
+		Add:    func(a, b int64) int64 { return a + b },
+		Mul:    func(a, b int64) int64 { return a * b },
+		IsZero: func(a int64) bool { return a == 0 },
+	}
+}
+
+// SumProductSemiring is (ℝ, +, ×) over float64 weights.
+func SumProductSemiring() Semiring[float64] {
+	return Semiring[float64]{
+		Zero:   0,
+		One:    1,
+		Add:    func(a, b float64) float64 { return a + b },
+		Mul:    func(a, b float64) float64 { return a * b },
+		IsZero: func(a float64) bool { return a == 0 },
+	}
+}
+
+// TropicalSemiring is (ℝ∪{+∞}, min, +): Aggregate computes the minimum
+// total weight over all result tuples (e.g., shortest witness).
+func TropicalSemiring() Semiring[float64] {
+	const inf = 1e300
+	return Semiring[float64]{
+		Zero: inf,
+		One:  0,
+		Add: func(a, b float64) float64 {
+			if a < b {
+				return a
+			}
+			return b
+		},
+		Mul:    func(a, b float64) float64 { return a + b },
+		IsZero: func(a float64) bool { return a >= inf },
+	}
+}
+
+// VarWeight assigns a semiring weight to variable depth d taking value v.
+// The aggregate computed is ⊕ over all result tuples of ⊗ over depths of
+// the weights — the FAQ/AJAR form restricted to per-variable factors.
+type VarWeight[T any] func(d int, v int64) T
+
+// UnitWeight weighs every assignment with One, making Aggregate over the
+// counting semiring coincide with Count.
+func UnitWeight[T any](sr Semiring[T]) VarWeight[T] {
+	return func(int, int64) T { return sr.One }
+}
+
+// Aggregate runs cached trie-join aggregation over the plan: it returns
+//
+//	⊕_{µ ∈ q(D)} ⊗_{d} w(d, µ(x_d))
+//
+// using the same adhesion caches as Count — cached entries hold the
+// subtree's aggregate for the adhesion assignment. With CountSemiring
+// and UnitWeight this is exactly CachedTJCount.
+func Aggregate[T any](p *Plan, policy Policy, sr Semiring[T], w VarWeight[T]) T {
+	if p.inst.Empty() {
+		return sr.Zero
+	}
+	e := &aggExec[T]{
+		plan:   p,
+		run:    leapfrog.NewRunner(p.inst),
+		sr:     sr,
+		w:      w,
+		total:  sr.Zero,
+		intrmd: make([]T, p.numNodes),
+		cm:     newManager[T](policy, p.numNodes, p.cacheable, p.counters, nil),
+	}
+	e.mu = e.run.Assignment()
+	e.rjoin(0, sr.One)
+	return e.total
+}
+
+type aggExec[T any] struct {
+	plan   *Plan
+	run    *leapfrog.Runner
+	mu     []int64
+	sr     Semiring[T]
+	w      VarWeight[T]
+	intrmd []T
+	cm     *manager[T]
+	total  T
+}
+
+func (e *aggExec[T]) rjoin(d int, f T) {
+	p := e.plan
+	if d == p.numVars {
+		e.total = e.sr.Add(e.total, f)
+		return
+	}
+	v := p.ownerOf[d]
+	entering := p.bagFirst[d] && v != p.root && p.cacheable[v]
+	var key Key
+	if p.bagFirst[d] {
+		e.intrmd[v] = e.sr.Zero
+	}
+	if entering {
+		key = p.keyAt(v, e.mu)
+		if val, ok := e.cm.lookup(v, key); ok {
+			e.intrmd[v] = val
+			if e.sr.IsZero == nil || !e.sr.IsZero(val) {
+				e.rjoin(p.subtreeEnd[v]+1, e.sr.Mul(f, val))
+			}
+			return
+		}
+	}
+
+	frog, ok := e.run.OpenDepth(d)
+	for ok {
+		a := frog.Key()
+		e.mu[d] = a
+		e.rjoin(d+1, e.sr.Mul(f, e.w(d, a)))
+		if p.bagLast[d] {
+			// Fold the children's aggregates with the weight of the
+			// bag's own variable block under the current assignment.
+			prod := e.sr.One
+			for dd := p.firstVar[v]; dd <= p.lastVar[v]; dd++ {
+				prod = e.sr.Mul(prod, e.w(dd, e.mu[dd]))
+			}
+			for _, c := range p.children[v] {
+				prod = e.sr.Mul(prod, e.intrmd[c])
+				if e.sr.IsZero != nil && e.sr.IsZero(prod) {
+					break
+				}
+			}
+			e.intrmd[v] = e.sr.Add(e.intrmd[v], prod)
+		}
+		ok = frog.Next()
+	}
+	e.run.CloseDepth(d)
+
+	if entering && e.cm.shouldCache(v, key) {
+		e.cm.store(v, key, e.intrmd[v])
+	}
+}

@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/cq"
+	"repro/internal/leapfrog"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/td"
+)
+
+// AutoOptions configures automatic plan selection.
+type AutoOptions struct {
+	// TD controls the decomposition enumeration (zero value: defaults).
+	TD td.Options
+	// Cost overrides the TD cost weights (zero value: defaults).
+	Cost td.CostConfig
+	// SkipOrderCost disables the Chu-et-al.-style order-cost term, which
+	// requires building one trie set per candidate decomposition.
+	SkipOrderCost bool
+	// SkipSkew disables the data-skew term of the cost model.
+	SkipSkew bool
+	// Counters is the accounting sink for the final plan (may be nil).
+	Counters *stats.Counters
+}
+
+// AutoPlan selects a tree decomposition for q following §4: enumerate
+// decompositions biased toward small adhesions, score them with the
+// heuristic cost model (adhesion dimension, bag count, depth, data skew,
+// estimated order cost) and compile the best one with its strongly
+// compatible variable order.
+func AutoPlan(q *cq.Query, db *relation.DB, opts AutoOptions) (*Plan, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	qvars := q.Vars()
+	cfg := opts.Cost
+	if cfg.AdhesionBase == 0 {
+		cfg = td.DefaultCostConfig(len(qvars))
+	}
+	cfg.NumVars = len(qvars)
+	if !opts.SkipSkew && cfg.VarSkew == nil {
+		cfg.VarSkew = varSkewFunc(q, db)
+	}
+	if !opts.SkipOrderCost && cfg.OrderCost == nil {
+		cfg.OrderCost = func(orderIdx []int) float64 {
+			names := make([]string, len(orderIdx))
+			for d, xi := range orderIdx {
+				names[d] = qvars[xi]
+			}
+			inst, err := leapfrog.Build(q, db, names, nil)
+			if err != nil {
+				return math.Inf(1)
+			}
+			return inst.EstimateOrderCost()
+		}
+	}
+	tree, orderIdx := td.Select(q, opts.TD, cfg)
+	order := make([]string, len(orderIdx))
+	for d, xi := range orderIdx {
+		order[d] = qvars[xi]
+	}
+	return NewPlan(q, db, tree, order, opts.Counters)
+}
+
+// varSkewFunc derives a per-variable skew coefficient from the database:
+// the maximum skew of any relation column the variable is matched
+// against. Column skews are computed once per (relation, column).
+func varSkewFunc(q *cq.Query, db *relation.DB) func(int) float64 {
+	type colKey struct {
+		rel string
+		col int
+	}
+	colSkew := make(map[colKey]float64)
+	skewOf := func(rel *relation.Relation, col int) float64 {
+		k := colKey{rel.Name(), col}
+		if s, ok := colSkew[k]; ok {
+			return s
+		}
+		s := stats.ColumnSkew(rel.Tuples(), col)
+		colSkew[k] = s
+		return s
+	}
+	idx := q.VarIndex()
+	skews := make([]float64, len(idx))
+	for _, atom := range q.Atoms {
+		rel, err := db.Get(atom.Rel)
+		if err != nil || rel.Arity() != len(atom.Args) {
+			continue
+		}
+		for col, t := range atom.Args {
+			if !t.IsVar() {
+				continue
+			}
+			if s := skewOf(rel, col); s > skews[idx[t.Var]] {
+				skews[idx[t.Var]] = s
+			}
+		}
+	}
+	return func(x int) float64 {
+		if x < 0 || x >= len(skews) {
+			return 0
+		}
+		return skews[x]
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/stats"
+)
+
+func newTestManager(p Policy, nodes int) *manager[int64] {
+	cacheable := make([]bool, nodes)
+	for i := range cacheable {
+		cacheable[i] = true
+	}
+	return newManager[int64](p, nodes, cacheable, nil, nil)
+}
+
+func key(vals ...int64) Key {
+	var k Key
+	copy(k[:], vals)
+	return k
+}
+
+func TestManagerStoreLookup(t *testing.T) {
+	m := newTestManager(Policy{}, 2)
+	if _, ok := m.lookup(0, key(1)); ok {
+		t.Fatal("lookup hit on empty cache")
+	}
+	m.store(0, key(1), 42)
+	if v, ok := m.lookup(0, key(1)); !ok || v != 42 {
+		t.Fatalf("lookup = %d,%v", v, ok)
+	}
+	// Caches are per bag.
+	if _, ok := m.lookup(1, key(1)); ok {
+		t.Fatal("bag 1 sees bag 0's entry")
+	}
+	if m.Entries() != 1 {
+		t.Fatalf("Entries = %d", m.Entries())
+	}
+}
+
+func TestManagerOverwriteInPlace(t *testing.T) {
+	m := newTestManager(Policy{Capacity: 1}, 1)
+	m.store(0, key(1), 10)
+	m.store(0, key(1), 20)
+	if v, _ := m.lookup(0, key(1)); v != 20 {
+		t.Fatalf("overwrite kept %d", v)
+	}
+	if m.Entries() != 1 {
+		t.Fatalf("Entries = %d after overwrite", m.Entries())
+	}
+}
+
+func TestManagerCapacityFIFO(t *testing.T) {
+	m := newTestManager(Policy{Capacity: 2, Eviction: EvictFIFO}, 1)
+	m.store(0, key(1), 1)
+	m.store(0, key(2), 2)
+	m.store(0, key(3), 3) // evicts key(1)
+	if m.Entries() != 2 {
+		t.Fatalf("Entries = %d, want 2", m.Entries())
+	}
+	if _, ok := m.lookup(0, key(1)); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := m.lookup(0, key(3)); !ok {
+		t.Fatal("newest entry missing")
+	}
+}
+
+func TestManagerCapacityLRU(t *testing.T) {
+	m := newTestManager(Policy{Capacity: 2, Eviction: EvictLRU}, 1)
+	m.store(0, key(1), 1)
+	m.store(0, key(2), 2)
+	// Touch key(1): key(2) becomes the LRU victim.
+	if _, ok := m.lookup(0, key(1)); !ok {
+		t.Fatal("lookup miss")
+	}
+	m.store(0, key(3), 3)
+	if _, ok := m.lookup(0, key(2)); ok {
+		t.Fatal("LRU victim key(2) survived")
+	}
+	if _, ok := m.lookup(0, key(1)); !ok {
+		t.Fatal("recently used key(1) evicted")
+	}
+	if _, ok := m.lookup(0, key(3)); !ok {
+		t.Fatal("new key(3) missing")
+	}
+}
+
+func TestManagerLRUVsFIFODiffer(t *testing.T) {
+	// Same access pattern; FIFO evicts the touched key, LRU keeps it.
+	fifo := newTestManager(Policy{Capacity: 2, Eviction: EvictFIFO}, 1)
+	fifo.store(0, key(1), 1)
+	fifo.store(0, key(2), 2)
+	fifo.lookup(0, key(1))
+	fifo.store(0, key(3), 3)
+	if _, ok := fifo.lookup(0, key(1)); ok {
+		t.Fatal("FIFO kept the oldest entry")
+	}
+}
+
+func TestManagerCapacityRejectNew(t *testing.T) {
+	m := newTestManager(Policy{Capacity: 2, Eviction: EvictNone}, 1)
+	m.store(0, key(1), 1)
+	m.store(0, key(2), 2)
+	m.store(0, key(3), 3) // rejected
+	if _, ok := m.lookup(0, key(3)); ok {
+		t.Fatal("entry inserted beyond capacity with EvictNone")
+	}
+	if _, ok := m.lookup(0, key(1)); !ok {
+		t.Fatal("existing entry lost with EvictNone")
+	}
+}
+
+func TestManagerSupportThreshold(t *testing.T) {
+	m := newTestManager(Policy{SupportThreshold: 2}, 1)
+	// First and second sightings: below support.
+	m.lookup(0, key(7))
+	if m.shouldCache(0, key(7)) {
+		t.Fatal("cached after 1 sighting with threshold 2")
+	}
+	m.lookup(0, key(7))
+	if m.shouldCache(0, key(7)) {
+		t.Fatal("cached after 2 sightings with threshold 2")
+	}
+	m.lookup(0, key(7))
+	if !m.shouldCache(0, key(7)) {
+		t.Fatal("not cached after 3 sightings with threshold 2")
+	}
+}
+
+func TestManagerDisabled(t *testing.T) {
+	cacheable := []bool{true}
+	m := newManager[int64](Policy{Disabled: true}, 1, cacheable, nil, nil)
+	m.store(0, key(1), 1)
+	if _, ok := m.lookup(0, key(1)); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if !m.shouldCache(0, key(1)) == false {
+		// shouldCache must be false when disabled.
+		t.Fatal("disabled cache wants to cache")
+	}
+}
+
+func TestManagerUncacheableBag(t *testing.T) {
+	m := newManager[int64](Policy{}, 2, []bool{true, false}, nil, nil)
+	m.store(1, key(1), 5)
+	if _, ok := m.lookup(1, key(1)); ok {
+		t.Fatal("uncacheable bag stored an entry")
+	}
+}
+
+func TestManagerCountsStats(t *testing.T) {
+	var c stats.Counters
+	m := newManager[int64](Policy{}, 1, []bool{true}, &c, nil)
+	m.lookup(0, key(1))
+	m.store(0, key(1), 9)
+	m.lookup(0, key(1))
+	if c.CacheMisses != 1 || c.CacheHits != 1 || c.CacheInserts != 1 {
+		t.Fatalf("stats = %+v", c)
+	}
+	if c.HashAccesses == 0 {
+		t.Fatal("no hash accesses recorded")
+	}
+}
+
+func TestManagerWeightedCost(t *testing.T) {
+	cacheable := []bool{true}
+	m := newManager[[]int64](Policy{Capacity: 5}, 1, cacheable, nil, func(v []int64) int { return len(v) })
+	m.store(0, key(1), []int64{1, 2, 3})
+	if m.Entries() != 3 {
+		t.Fatalf("weighted Entries = %d, want 3", m.Entries())
+	}
+	m.store(0, key(2), []int64{1, 2, 3}) // 3+3 > 5: evict the first
+	if m.Entries() > 5 {
+		t.Fatalf("capacity exceeded: %d", m.Entries())
+	}
+	// A value larger than the whole capacity is rejected outright.
+	m2 := newManager[[]int64](Policy{Capacity: 2}, 1, cacheable, nil, func(v []int64) int { return len(v) })
+	m2.store(0, key(1), []int64{1, 2, 3})
+	if _, ok := m2.lookup(0, key(1)); ok {
+		t.Fatal("oversized value stored")
+	}
+}

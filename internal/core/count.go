@@ -1,0 +1,100 @@
+package core
+
+import "repro/internal/leapfrog"
+
+// CountResult reports a cached count execution.
+type CountResult struct {
+	// Count is |q(D)|.
+	Count int64
+	// CachedEntries is the number of intermediate results resident in the
+	// caches at the end of the run.
+	CachedEntries int
+}
+
+// Count runs CachedTJCount (Fig. 2) over the plan under the given policy
+// and returns |q(D)|.
+func (p *Plan) Count(policy Policy) CountResult {
+	if p.inst.Empty() {
+		return CountResult{}
+	}
+	e := &countExec{
+		plan:   p,
+		run:    leapfrog.NewRunner(p.inst),
+		intrmd: make([]int64, p.numNodes),
+		cm:     newManager[int64](policy, p.numNodes, p.cacheable, p.counters, nil),
+	}
+	e.mu = e.run.Assignment()
+	e.rjoin(0, 1)
+	return CountResult{Count: e.total, CachedEntries: e.cm.Entries()}
+}
+
+type countExec struct {
+	plan   *Plan
+	run    *leapfrog.Runner
+	mu     []int64
+	intrmd []int64
+	cm     *manager[int64]
+	total  int64
+}
+
+// rjoin is RCachedJoin(d, f) of Fig. 2 (0-based depths). f aggregates the
+// cached factors of skipped subtrees; every arrival at depth n adds f to
+// the total, so with no cache hits (f == 1 throughout) the procedure is
+// exactly RJoin of Fig. 1.
+func (e *countExec) rjoin(d int, f int64) {
+	p := e.plan
+	if d == p.numVars {
+		e.total += f
+		return
+	}
+	v := p.ownerOf[d]
+	// Caching applies only when entering a cacheable bag; bags whose
+	// adhesion is wider than MaxKeyDim run plain LFTJ (cf. §4 footnote on
+	// wide relations).
+	entering := p.bagFirst[d] && v != p.root && p.cacheable[v]
+	var key Key
+	if p.bagFirst[d] {
+		e.intrmd[v] = 0
+	}
+	if entering {
+		// Lines 6-12: entering v from a different bag; its adhesion is
+		// fully assigned (strong compatibility), so probe the cache.
+		key = p.keyAt(v, e.mu)
+		if val, ok := e.cm.lookup(v, key); ok {
+			// Skip past the subtree interval, multiplying the factor. A
+			// cached zero means the subtree cannot match this adhesion
+			// assignment at all, so the whole prefix is dead — prune
+			// rather than carry a zero factor as Fig. 2 literally would.
+			e.intrmd[v] = val
+			if val != 0 {
+				e.rjoin(p.subtreeEnd[v]+1, f*val)
+			}
+			return
+		}
+	}
+
+	// Lines 13-19: the ordinary trie-join scan of x_d.
+	frog, ok := e.run.OpenDepth(d)
+	for ok {
+		e.mu[d] = frog.Key()
+		e.rjoin(d+1, f)
+		if p.bagLast[d] {
+			// Line 16-18: fold the children's intermediate counts.
+			prod := int64(1)
+			for _, c := range p.children[v] {
+				prod *= e.intrmd[c]
+				if prod == 0 {
+					break
+				}
+			}
+			e.intrmd[v] += prod
+		}
+		ok = frog.Next()
+	}
+	e.run.CloseDepth(d)
+
+	// Lines 20-22: about to leave v upward; cache if the policy agrees.
+	if entering && e.cm.shouldCache(v, key) {
+		e.cm.store(v, key, e.intrmd[v])
+	}
+}

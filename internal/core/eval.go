@@ -1,0 +1,225 @@
+package core
+
+import (
+	"repro/internal/factorized"
+	"repro/internal/leapfrog"
+)
+
+// EvalResult reports a cached evaluation.
+type EvalResult struct {
+	// Emitted is the number of result tuples delivered to the callback.
+	Emitted int64
+	// CachedEntries is the number of factorized entries resident in the
+	// caches at the end of the run.
+	CachedEntries int
+}
+
+// Eval runs the evaluation variant of CachedTJCount (§3.4): the ordinary
+// LFTJ scan, but cached bags store factorized representations of their
+// subtree's assignments, and a cache hit skips the subtree, leaving a
+// pointer to the factorized set that is expanded when results are
+// emitted. emit receives the full assignment indexed by depth (aligned
+// with Plan.Order); the slice is reused, so emit must copy to retain.
+// Returning false stops the enumeration.
+func (p *Plan) Eval(policy Policy, emit func(mu []int64) bool) EvalResult {
+	if p.inst.Empty() {
+		return EvalResult{}
+	}
+	e := &evalExec{
+		plan:    p,
+		run:     leapfrog.NewRunner(p.inst),
+		sets:    make([]factorized.Set, p.numNodes),
+		collect: make([]bool, p.numNodes),
+		intent:  make([]bool, p.numNodes),
+		emit:    emit,
+		cm: newManager[factorized.Set](policy, p.numNodes, p.cacheable, p.counters,
+			func(s factorized.Set) int { return len(s) }),
+	}
+	e.mu = e.run.Assignment()
+	e.rjoin(0)
+	return EvalResult{Emitted: e.emitted, CachedEntries: e.cm.Entries()}
+}
+
+// EvalTuples materializes the result in order-variable order; intended
+// for tests and small results.
+func (p *Plan) EvalTuples(policy Policy) [][]int64 {
+	var out [][]int64
+	p.Eval(policy, func(mu []int64) bool {
+		out = append(out, append([]int64(nil), mu...))
+		return true
+	})
+	return out
+}
+
+// EvalFactorized materializes the entire result as a factorized
+// (d-)representation rooted at the plan's root bag (§3.4: the result may
+// "constitute a factorized representation that may be decomposed upon
+// need"). Cache hits link shared sub-sets, so heavily reused subtrees are
+// stored once; Set.Count() equals |q(D)| while Set.NumEntries() is often
+// far smaller. Decompress with ExpandFactorized.
+func (p *Plan) EvalFactorized(policy Policy) factorized.Set {
+	if p.inst.Empty() {
+		return nil
+	}
+	e := &evalExec{
+		plan:        p,
+		run:         leapfrog.NewRunner(p.inst),
+		sets:        make([]factorized.Set, p.numNodes),
+		collect:     make([]bool, p.numNodes),
+		intent:      make([]bool, p.numNodes),
+		collectRoot: true,
+		emit:        func([]int64) bool { return true },
+		cm: newManager[factorized.Set](policy, p.numNodes, p.cacheable, p.counters,
+			func(s factorized.Set) int { return len(s) }),
+	}
+	e.mu = e.run.Assignment()
+	e.rjoin(0)
+	return e.sets[p.root]
+}
+
+// ExpandFactorized enumerates the tuples a factorized result produced by
+// EvalFactorized represents, invoking emit with assignments aligned with
+// Plan.Order (reused slice; copy to retain). Returning false stops.
+func (p *Plan) ExpandFactorized(s factorized.Set, emit func(mu []int64) bool) {
+	e := &evalExec{plan: p, mu: make([]int64, p.numVars), emit: emit}
+	e.expandSet(p.root, s, func() bool { return emit(e.mu) })
+}
+
+type skipFrame struct {
+	node int
+	set  factorized.Set
+}
+
+type evalExec struct {
+	plan        *Plan
+	run         *leapfrog.Runner
+	mu          []int64
+	sets        []factorized.Set // per bag: the set built/reused in the current iteration
+	collect     []bool           // per bag: building its factorized set right now
+	intent      []bool           // per bag: will store to cache on exit
+	collectRoot bool             // materialize the whole result as a factorized set
+	cm          *manager[factorized.Set]
+	pending     []skipFrame
+	emit        func([]int64) bool
+	emitted     int64
+}
+
+// rjoin mirrors countExec.rjoin with factorized intermediates. It returns
+// false when the consumer stopped the enumeration.
+func (e *evalExec) rjoin(d int) bool {
+	p := e.plan
+	if d == p.numVars {
+		return e.emitPending(0)
+	}
+	v := p.ownerOf[d]
+	entering := p.bagFirst[d] && v != p.root && p.cacheable[v]
+	var key Key
+	if p.bagFirst[d] {
+		e.intent[v] = false
+		e.collect[v] = (p.parent[v] != -1 && e.collect[p.parent[v]]) ||
+			(v == p.root && e.collectRoot)
+		e.sets[v] = nil
+	}
+	if entering {
+		key = p.keyAt(v, e.mu)
+		if set, ok := e.cm.lookup(v, key); ok {
+			e.sets[v] = set
+			if len(set) == 0 {
+				// Cached empty subtree: the prefix is dead.
+				return true
+			}
+			e.pending = append(e.pending, skipFrame{node: v, set: set})
+			cont := e.rjoin(p.subtreeEnd[v] + 1)
+			e.pending = e.pending[:len(e.pending)-1]
+			return cont
+		}
+		if e.cm.shouldCache(v, key) {
+			// Decide the caching intent on entry: evaluation must build
+			// the factorized set during the scan to have something to
+			// store on exit (§3.4: intrmd is maintained only when needed).
+			e.intent[v] = true
+			e.collect[v] = true
+		}
+	}
+
+	frog, ok := e.run.OpenDepth(d)
+	cont := true
+	for ok && cont {
+		e.mu[d] = frog.Key()
+		cont = e.rjoin(d + 1)
+		if p.bagLast[d] && e.collect[v] && cont {
+			e.appendEntry(v)
+		}
+		if cont {
+			ok = frog.Next()
+		}
+	}
+	e.run.CloseDepth(d)
+
+	if entering && e.intent[v] && cont {
+		e.cm.store(v, key, e.sets[v])
+	}
+	return cont
+}
+
+// appendEntry records one assignment of bag v's owned variables together
+// with the children's factorized sets. Combinations with an empty child
+// set represent zero tuples and are skipped.
+func (e *evalExec) appendEntry(v int) {
+	p := e.plan
+	var children []factorized.Set
+	if n := len(p.children[v]); n > 0 {
+		children = make([]factorized.Set, n)
+		for i, c := range p.children[v] {
+			s := e.sets[c]
+			if len(s) == 0 {
+				return
+			}
+			children[i] = s
+		}
+	}
+	vals := make([]int64, p.lastVar[v]-p.firstVar[v]+1)
+	copy(vals, e.mu[p.firstVar[v]:p.lastVar[v]+1])
+	if c := p.counters; c != nil {
+		c.TupleAccesses += int64(len(vals))
+	}
+	e.sets[v] = append(e.sets[v], &factorized.Entry{Vals: vals, Children: children})
+}
+
+// emitPending expands the pending cache-hit skips (disjoint depth
+// intervals along the current path) into the assignment buffer and emits
+// every completed tuple.
+func (e *evalExec) emitPending(i int) bool {
+	if i == len(e.pending) {
+		e.emitted++
+		return e.emit(e.mu)
+	}
+	fr := e.pending[i]
+	return e.expandSet(fr.node, fr.set, func() bool { return e.emitPending(i + 1) })
+}
+
+// expandSet enumerates the assignments a factorized set represents,
+// writing them into the buffer at bag v's depth interval.
+func (e *evalExec) expandSet(v int, s factorized.Set, then func() bool) bool {
+	p := e.plan
+	for _, entry := range s {
+		copy(e.mu[p.firstVar[v]:], entry.Vals)
+		if c := p.counters; c != nil {
+			c.TupleAccesses += int64(len(entry.Vals))
+		}
+		if !e.expandChildren(v, entry, 0, then) {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *evalExec) expandChildren(v int, entry *factorized.Entry, j int, then func() bool) bool {
+	if j == len(entry.Children) {
+		return then()
+	}
+	c := e.plan.children[v][j]
+	return e.expandSet(c, entry.Children[j], func() bool {
+		return e.expandChildren(v, entry, j+1, then)
+	})
+}

@@ -1,0 +1,277 @@
+// Package core implements CLFTJ — the paper's contribution: Leapfrog Trie
+// Join with flexible caching (Fig. 2). A Plan binds a query, a database,
+// an ordered tree decomposition and a strongly compatible variable order;
+// executions then run ordinary LFTJ while consulting and filling bounded
+// adhesion-keyed caches, so that when no caching takes place the
+// algorithm coincides with LFTJ, and any amount of available memory
+// translates into memoization (§3).
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/leapfrog"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/td"
+)
+
+// Plan is a compiled CLFTJ execution plan. Build once, run many times.
+type Plan struct {
+	inst  *leapfrog.Instance
+	tree  *td.TD
+	order []string
+
+	numVars  int
+	numNodes int
+
+	// ownerOf[d] is the (effective) bag owning depth d's variable.
+	ownerOf []int
+	// bagFirst[d] / bagLast[d] mark the first/last depth owned by the bag.
+	bagFirst []bool
+	bagLast  []bool
+	// firstVar[v] / subtreeEnd[v] delimit the contiguous depth interval
+	// of node v's subtree: v's owned depths start the interval and the
+	// descendants' depths complete it (a consequence of strong
+	// compatibility; it is what makes the cache-hit skip sound).
+	firstVar   []int
+	lastVar    []int
+	subtreeEnd []int
+	// children lists effective children (bags owning no variable are
+	// contracted into their nearest owning ancestor); parent is the
+	// inverse (-1 for the root and contracted bags).
+	children [][]int
+	parent   []int
+	// adhesionDepths[v] holds the depths of adhesion(v), ascending; these
+	// index the partial assignment to form cache keys.
+	adhesionDepths [][]int
+	// cacheable[v] marks non-root bags with adhesion width <= MaxKeyDim.
+	cacheable []bool
+	root      int
+
+	counters *stats.Counters
+}
+
+// NewPlan compiles q against db with the given ordered TD and variable
+// order (names). The TD must be valid for q and strongly compatible with
+// the order; both are verified. counters may be nil.
+func NewPlan(q *cq.Query, db *relation.DB, tree *td.TD, order []string, counters *stats.Counters) (*Plan, error) {
+	if err := tree.Validate(q); err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	qvars := q.Vars()
+	qidx := q.VarIndex()
+	if len(order) != len(qvars) {
+		return nil, fmt.Errorf("core: order has %d variables, query has %d", len(order), len(qvars))
+	}
+	orderIdx := make([]int, len(order))
+	for d, name := range order {
+		xi, ok := qidx[name]
+		if !ok {
+			return nil, fmt.Errorf("core: order variable %q not in query", name)
+		}
+		orderIdx[d] = xi
+	}
+	if !tree.StronglyCompatible(orderIdx) {
+		return nil, fmt.Errorf("core: tree decomposition is not strongly compatible with order %v", order)
+	}
+	inst, err := leapfrog.Build(q, db, order, counters)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		inst:     inst,
+		tree:     tree,
+		order:    append([]string(nil), order...),
+		numVars:  len(order),
+		counters: counters,
+	}
+	if err := p.compile(orderIdx); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// compile derives the owner/adhesion/interval tables from the TD.
+func (p *Plan) compile(orderIdx []int) error {
+	t := p.tree
+	n := p.numVars
+	owners := t.Owners(n) // per variable index
+	depthOf := make([]int, n)
+	for d, xi := range orderIdx {
+		depthOf[xi] = d
+	}
+
+	// Owner per depth (original node ids).
+	ownerOf := make([]int, n)
+	for d, xi := range orderIdx {
+		v := owners[xi]
+		if v == -1 {
+			return fmt.Errorf("core: variable %q owned by no bag", p.order[d])
+		}
+		ownerOf[d] = v
+	}
+
+	// Contract bags that own no depth: re-parent to the nearest owning
+	// ancestor; the root is kept regardless (it owns depth 0 in any valid
+	// strongly compatible setup, verified below).
+	numNodes := t.N()
+	owns := make([]bool, numNodes)
+	for _, v := range ownerOf {
+		owns[v] = true
+	}
+	if !owns[t.Root] {
+		return fmt.Errorf("core: root bag owns no variable")
+	}
+	keptParent := make([]int, numNodes)
+	for i := range keptParent {
+		keptParent[i] = -1
+	}
+	var children [][]int = make([][]int, numNodes)
+	var link func(v, ancestor int)
+	link = func(v, ancestor int) {
+		next := ancestor
+		if owns[v] {
+			if ancestor != -1 {
+				children[ancestor] = append(children[ancestor], v)
+			}
+			keptParent[v] = ancestor
+			next = v
+		}
+		for _, c := range t.Children[v] {
+			link(c, next)
+		}
+	}
+	link(t.Root, -1)
+
+	firstVar := make([]int, numNodes)
+	lastVar := make([]int, numNodes)
+	for v := range firstVar {
+		firstVar[v], lastVar[v] = -1, -1
+	}
+	for d := 0; d < n; d++ {
+		v := ownerOf[d]
+		if firstVar[v] == -1 {
+			firstVar[v] = d
+		} else if d != lastVar[v]+1 {
+			return fmt.Errorf("core: depths owned by bag %d are not contiguous (order not strongly compatible within bags)", v)
+		}
+		lastVar[v] = d
+	}
+
+	subtreeEnd := make([]int, numNodes)
+	var span func(v int) int
+	span = func(v int) int {
+		end := lastVar[v]
+		for _, c := range children[v] {
+			ce := span(c)
+			if ce > end {
+				end = ce
+			}
+		}
+		subtreeEnd[v] = end
+		return end
+	}
+	span(t.Root)
+
+	// Verify the subtree interval property: children intervals follow the
+	// owner's block contiguously.
+	for v := range children {
+		if firstVar[v] == -1 {
+			continue
+		}
+		next := lastVar[v] + 1
+		for _, c := range children[v] {
+			if firstVar[c] != next {
+				return fmt.Errorf("core: bag %d subtree interval broken at child %d (got first %d, want %d)",
+					v, c, firstVar[c], next)
+			}
+			next = subtreeEnd[c] + 1
+		}
+	}
+
+	bagFirst := make([]bool, n)
+	bagLast := make([]bool, n)
+	for d := 0; d < n; d++ {
+		bagFirst[d] = firstVar[ownerOf[d]] == d
+		bagLast[d] = lastVar[ownerOf[d]] == d
+	}
+
+	adhesionDepths := make([][]int, numNodes)
+	cacheable := make([]bool, numNodes)
+	for v := 0; v < numNodes; v++ {
+		if firstVar[v] == -1 || v == t.Root {
+			continue
+		}
+		adh := t.Adhesion(v) // variable indices, sorted
+		depths := make([]int, len(adh))
+		good := true
+		for i, xi := range adh {
+			depths[i] = depthOf[xi]
+			if depths[i] >= firstVar[v] {
+				return fmt.Errorf("core: adhesion variable of bag %d not assigned before the bag", v)
+			}
+			_ = i
+		}
+		sortInts(depths)
+		adhesionDepths[v] = depths
+		cacheable[v] = good && len(depths) <= MaxKeyDim
+	}
+
+	p.numNodes = numNodes
+	p.ownerOf = ownerOf
+	p.bagFirst = bagFirst
+	p.bagLast = bagLast
+	p.firstVar = firstVar
+	p.lastVar = lastVar
+	p.subtreeEnd = subtreeEnd
+	p.children = children
+	p.parent = keptParent
+	p.adhesionDepths = adhesionDepths
+	p.cacheable = cacheable
+	p.root = t.Root
+	return nil
+}
+
+// Instance exposes the underlying leapfrog instance.
+func (p *Plan) Instance() *leapfrog.Instance { return p.inst }
+
+// TD returns the plan's tree decomposition.
+func (p *Plan) TD() *td.TD { return p.tree }
+
+// Order returns the variable order (names by depth).
+func (p *Plan) Order() []string { return p.order }
+
+// Counters returns the accounting sink (possibly nil).
+func (p *Plan) Counters() *stats.Counters { return p.counters }
+
+// CacheDims returns the adhesion widths of the cacheable bags (the cache
+// dimensions, cf. Fig. 11's cache structures).
+func (p *Plan) CacheDims() []int {
+	var dims []int
+	for v := 0; v < p.numNodes; v++ {
+		if p.cacheable[v] {
+			dims = append(dims, len(p.adhesionDepths[v]))
+		}
+	}
+	return dims
+}
+
+// keyAt assembles the cache key of bag v from the current assignment.
+func (p *Plan) keyAt(v int, mu []int64) Key {
+	var k Key
+	for i, d := range p.adhesionDepths[v] {
+		k[i] = mu[d]
+	}
+	return k
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

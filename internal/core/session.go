@@ -1,0 +1,55 @@
+package core
+
+import "repro/internal/leapfrog"
+
+// Session keeps a plan's caches alive across executions. The paper
+// frames CLFTJ's caches as dynamically sized memory the operator may
+// grant or reclaim at any time (§5.3.3, multi-tenancy); a Session is the
+// corresponding API: repeated counts over the same plan reuse earlier
+// intermediate results, so later runs probe warm caches, and the
+// capacity bound applies to the session as a whole.
+type Session struct {
+	plan   *Plan
+	policy Policy
+	cm     *manager[int64]
+}
+
+// NewSession returns a counting session with empty caches under the
+// given policy.
+func (p *Plan) NewSession(policy Policy) *Session {
+	return &Session{
+		plan:   p,
+		policy: policy,
+		cm:     newManager[int64](policy, p.numNodes, p.cacheable, p.counters, nil),
+	}
+}
+
+// Count runs CachedTJCount reusing the session's caches.
+func (s *Session) Count() CountResult {
+	if s.plan.inst.Empty() {
+		return CountResult{}
+	}
+	e := &countExec{
+		plan:   s.plan,
+		run:    leapfrog.NewRunner(s.plan.inst),
+		intrmd: make([]int64, s.plan.numNodes),
+		cm:     s.cm,
+	}
+	e.mu = e.run.Assignment()
+	e.rjoin(0, 1)
+	return CountResult{Count: e.total, CachedEntries: s.cm.Entries()}
+}
+
+// CachedEntries reports the intermediate results currently resident.
+func (s *Session) CachedEntries() int { return s.cm.Entries() }
+
+// Shrink reduces the resident cache to at most maxEntries, evicting in
+// the policy's eviction order — the "dynamically adjust the size of the
+// cache" knob from the paper's abstract. It reports the resulting size.
+func (s *Session) Shrink(maxEntries int) int {
+	if maxEntries < 0 {
+		maxEntries = 0
+	}
+	s.cm.evictUntil(maxEntries)
+	return s.cm.Entries()
+}

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/dataset"
+	"repro/internal/queries"
+	"repro/internal/stats"
+)
+
+func TestSessionCountsStayCorrect(t *testing.T) {
+	g := dataset.PreferentialAttachment(100, 3, 41)
+	db := g.DB(false)
+	plan, err := AutoPlan(queries.Path(5), db, AutoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Count(Policy{Disabled: true}).Count
+	s := plan.NewSession(Policy{})
+	for i := 0; i < 3; i++ {
+		if got := s.Count(); got.Count != want {
+			t.Fatalf("run %d: count %d, want %d", i, got.Count, want)
+		}
+	}
+}
+
+func TestSessionWarmRunsCheaper(t *testing.T) {
+	g := dataset.PreferentialAttachment(150, 4, 42)
+	db := g.DB(false)
+	var c stats.Counters
+	plan, err := AutoPlan(queries.Path(5), db, AutoOptions{Counters: &c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.NewSession(Policy{})
+
+	c.Reset()
+	s.Count()
+	cold := c.TrieAccesses
+
+	c.Reset()
+	s.Count()
+	warm := c.TrieAccesses
+
+	if warm >= cold {
+		t.Errorf("warm run not cheaper: cold=%d warm=%d", cold, warm)
+	}
+	if s.CachedEntries() == 0 {
+		t.Error("session retained no entries")
+	}
+}
+
+func TestSessionShrink(t *testing.T) {
+	g := dataset.PreferentialAttachment(120, 3, 43)
+	db := g.DB(false)
+	plan, err := AutoPlan(queries.Path(5), db, AutoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.NewSession(Policy{})
+	want := s.Count().Count
+	before := s.CachedEntries()
+	if before < 4 {
+		t.Skip("too few entries to shrink")
+	}
+	target := before / 4
+	if got := s.Shrink(target); got > target {
+		t.Fatalf("Shrink left %d entries, want <= %d", got, target)
+	}
+	// Counts stay correct after an arbitrary deletion (§3.4: "the
+	// algorithm allows for arbitrary replacements or deletions").
+	if got := s.Count(); got.Count != want {
+		t.Fatalf("post-shrink count %d, want %d", got.Count, want)
+	}
+	if got := s.Shrink(0); got != 0 {
+		t.Fatalf("Shrink(0) left %d entries", got)
+	}
+	if got := s.Count(); got.Count != want {
+		t.Fatalf("post-flush count %d, want %d", got.Count, want)
+	}
+}
+
+func TestSessionRespectsCapacityAcrossRuns(t *testing.T) {
+	g := dataset.PreferentialAttachment(120, 3, 44)
+	db := g.DB(false)
+	plan, err := AutoPlan(queries.Path(5), db, AutoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := plan.NewSession(Policy{Capacity: 10})
+	for i := 0; i < 3; i++ {
+		res := s.Count()
+		if res.CachedEntries > 10 {
+			t.Fatalf("run %d: %d entries exceed capacity", i, res.CachedEntries)
+		}
+	}
+}

@@ -1,0 +1,37 @@
+package cq
+
+import "testing"
+
+// FuzzParse checks that the query parser never panics and that every
+// successfully parsed query re-parses to an identical rendering (the
+// printer and parser agree).
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"E(x,y)",
+		"E(x,y), E(y,z).",
+		"R(a, 42), S(-1, a)",
+		"male_cast(p1, m1), female_cast(p2, m1)",
+		" E ( x , y ) ",
+		"E(x,y), ",
+		"E(x,,y)",
+		"((((",
+		"E(x,y)E(y,z)",
+		"エッジ(x,y)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, input string) {
+		q, err := Parse(input)
+		if err != nil {
+			return
+		}
+		rendered := q.String()
+		again, err := Parse(rendered)
+		if err != nil {
+			t.Fatalf("rendering %q of accepted input %q does not re-parse: %v", rendered, input, err)
+		}
+		if again.String() != rendered {
+			t.Fatalf("round trip unstable: %q -> %q", rendered, again.String())
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package cq
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// Parse reads a full CQ from text in the conventional comma-separated
+// atom syntax, e.g.
+//
+//	E(x,y), E(y,z), R(z, 42)
+//
+// Identifiers starting with a letter or underscore are variables;
+// (signed) integer literals are constants. Relation names follow the
+// same identifier syntax. Whitespace is insignificant. A trailing
+// period, as in Datalog bodies, is permitted.
+func Parse(input string) (*Query, error) {
+	p := &parser{src: input}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, fmt.Errorf("cq: parse error at offset %d: %w", p.pos, err)
+	}
+	return q, nil
+}
+
+// MustParse is Parse but panics on error; for tests and fixed queries.
+func MustParse(input string) *Query {
+	q, err := Parse(input)
+	if err != nil {
+		panic(err)
+	}
+	return q
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) parseQuery() (*Query, error) {
+	var atoms []Atom
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		atom, err := p.parseAtom()
+		if err != nil {
+			return nil, err
+		}
+		atoms = append(atoms, atom)
+		p.skipSpace()
+		switch {
+		case p.eof():
+		case p.peek() == ',':
+			p.pos++
+			continue
+		case p.peek() == '.':
+			p.pos++
+			p.skipSpace()
+			if !p.eof() {
+				return nil, fmt.Errorf("trailing input after %q", ".")
+			}
+		default:
+			return nil, fmt.Errorf("expected ',' or end of input, got %q", p.peek())
+		}
+		break
+	}
+	q := New(atoms...)
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return q, nil
+}
+
+func (p *parser) parseAtom() (Atom, error) {
+	rel, err := p.parseIdent()
+	if err != nil {
+		return Atom{}, fmt.Errorf("relation name: %w", err)
+	}
+	p.skipSpace()
+	if p.eof() || p.peek() != '(' {
+		return Atom{}, fmt.Errorf("expected '(' after relation %q", rel)
+	}
+	p.pos++
+	var args []Term
+	for {
+		p.skipSpace()
+		term, err := p.parseTerm()
+		if err != nil {
+			return Atom{}, fmt.Errorf("atom %s: %w", rel, err)
+		}
+		args = append(args, term)
+		p.skipSpace()
+		if p.eof() {
+			return Atom{}, fmt.Errorf("atom %s: unterminated argument list", rel)
+		}
+		switch p.peek() {
+		case ',':
+			p.pos++
+		case ')':
+			p.pos++
+			return Atom{Rel: rel, Args: args}, nil
+		default:
+			return Atom{}, fmt.Errorf("atom %s: expected ',' or ')', got %q", rel, p.peek())
+		}
+	}
+}
+
+func (p *parser) parseTerm() (Term, error) {
+	if p.eof() {
+		return Term{}, fmt.Errorf("expected term, got end of input")
+	}
+	c := p.peek()
+	switch {
+	case c == '-' || c == '+' || unicode.IsDigit(rune(c)):
+		start := p.pos
+		p.pos++
+		for !p.eof() && unicode.IsDigit(rune(p.peek())) {
+			p.pos++
+		}
+		lit := p.src[start:p.pos]
+		v, err := strconv.ParseInt(lit, 10, 64)
+		if err != nil {
+			return Term{}, fmt.Errorf("bad integer literal %q", lit)
+		}
+		return C(v), nil
+	case isIdentStart(c):
+		name, err := p.parseIdent()
+		if err != nil {
+			return Term{}, err
+		}
+		return V(name), nil
+	default:
+		return Term{}, fmt.Errorf("expected variable or integer, got %q", c)
+	}
+}
+
+func (p *parser) parseIdent() (string, error) {
+	p.skipSpace()
+	if p.eof() || !isIdentStart(p.peek()) {
+		return "", fmt.Errorf("expected identifier")
+	}
+	start := p.pos
+	p.pos++
+	for !p.eof() && isIdentPart(p.peek()) {
+		p.pos++
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) skipSpace() {
+	for !p.eof() && strings.ContainsRune(" \t\r\n", rune(p.peek())) {
+		p.pos++
+	}
+}
+
+func (p *parser) peek() byte { return p.src[p.pos] }
+func (p *parser) eof() bool  { return p.pos >= len(p.src) }
+
+func isIdentStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isIdentPart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

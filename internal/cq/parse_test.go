@@ -1,0 +1,109 @@
+package cq
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestParseSimple(t *testing.T) {
+	q, err := Parse("E(x,y), E(y,z)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := q.String(); got != "E(x,y), E(y,z)" {
+		t.Fatalf("round trip = %q", got)
+	}
+	if !reflect.DeepEqual(q.Vars(), []string{"x", "y", "z"}) {
+		t.Fatalf("vars = %v", q.Vars())
+	}
+}
+
+func TestParseWhitespaceAndPeriod(t *testing.T) {
+	q, err := Parse("  E( x , y ) ,\n\tR(y, z) .  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Atoms) != 2 {
+		t.Fatalf("atoms = %d", len(q.Atoms))
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	q, err := Parse("R(x, 42), S(-7, x), T(+3, y)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !q.Atoms[0].Args[1].IsVar() == false || q.Atoms[0].Args[1].Const != 42 {
+		t.Fatalf("const arg = %+v", q.Atoms[0].Args[1])
+	}
+	if q.Atoms[1].Args[0].Const != -7 {
+		t.Fatalf("negative const = %+v", q.Atoms[1].Args[0])
+	}
+	if q.Atoms[2].Args[0].Const != 3 {
+		t.Fatalf("plus const = %+v", q.Atoms[2].Args[0])
+	}
+}
+
+func TestParseIdentifiers(t *testing.T) {
+	q, err := Parse("male_cast(p1, m1), _tmp(p1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Atoms[0].Rel != "male_cast" || q.Atoms[1].Rel != "_tmp" {
+		t.Fatalf("relations = %s, %s", q.Atoms[0].Rel, q.Atoms[1].Rel)
+	}
+}
+
+func TestParseRoundTripsBuilders(t *testing.T) {
+	// Every builder-produced query must parse back to itself.
+	for _, src := range []string{
+		"E(x1,x2), E(x2,x3), E(x3,x4)",
+		"E(a,b), E(b,c), E(c,d), E(a,d)",
+		"R(x,x,y)",
+	} {
+		q := MustParse(src)
+		again := MustParse(q.String())
+		if q.String() != again.String() {
+			t.Errorf("round trip changed %q -> %q", q, again)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"",                            // no atoms
+		"E",                           // missing argument list
+		"E(",                          // unterminated
+		"E()",                         // empty argument list is a missing term
+		"E(x,)",                       // dangling comma
+		"E(x y)",                      // missing separator
+		"E(x) R(y)",                   // missing comma between atoms
+		"E(x,y))",                     // trailing garbage
+		"E(x,y).R(y,z)",               // content after period
+		"E(1,2)",                      // no variables at all
+		"1E(x)",                       // bad relation name
+		"E(x,9999999999999999999999)", // overflow
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParse did not panic")
+		}
+	}()
+	MustParse("not a query((")
+}
+
+func TestParseErrorMentionsOffset(t *testing.T) {
+	_, err := Parse("E(x,y), E(y z)")
+	if err == nil || !strings.Contains(err.Error(), "offset") {
+		t.Fatalf("error %v does not mention offset", err)
+	}
+}

@@ -1,0 +1,82 @@
+// Package factorized implements the factorized result representations
+// (d-representations, [5,20] in the paper) that cached query evaluation
+// stores and forwards (§3.4): a set of assignments to a contiguous
+// variable interval is a union of entries, each pairing the values of the
+// owner bag's variables with one factorized set per child subtree. The
+// represented relation of an entry is its values × the product of its
+// children; sets union their entries.
+//
+// Sharing is by pointer: a cache hit links the cached set into the parent
+// entry, so repeated subresults are stored once.
+package factorized
+
+// Entry is one union member: Vals covers the owning bag's variables (a
+// contiguous depth interval fixed by the plan), and Children holds one
+// set per child subtree, in tree order.
+type Entry struct {
+	Vals     []int64
+	Children []Set
+}
+
+// Set is a union of entries; nil is the empty set.
+type Set []*Entry
+
+// Count returns the number of (flat) tuples the set represents.
+func (s Set) Count() int64 {
+	var total int64
+	for _, e := range s {
+		prod := int64(1)
+		for _, c := range e.Children {
+			prod *= c.Count()
+			if prod == 0 {
+				break
+			}
+		}
+		total += prod
+	}
+	return total
+}
+
+// NumEntries returns the number of entries stored, counting shared
+// sub-sets once. It is the memory-footprint measure used by the bounded
+// cache accounting.
+func (s Set) NumEntries() int {
+	seen := make(map[*Entry]bool)
+	var walk func(Set)
+	var n int
+	walk = func(x Set) {
+		for _, e := range x {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			n++
+			for _, c := range e.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(s)
+	return n
+}
+
+// Size returns the number of int64 values stored across unique entries.
+func (s Set) Size() int {
+	seen := make(map[*Entry]bool)
+	var walk func(Set)
+	var n int
+	walk = func(x Set) {
+		for _, e := range x {
+			if seen[e] {
+				continue
+			}
+			seen[e] = true
+			n += len(e.Vals)
+			for _, c := range e.Children {
+				walk(c)
+			}
+		}
+	}
+	walk(s)
+	return n
+}

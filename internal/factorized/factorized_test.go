@@ -1,0 +1,94 @@
+package factorized
+
+import "testing"
+
+func leaf(vals ...int64) *Entry { return &Entry{Vals: vals} }
+
+func TestCountEmpty(t *testing.T) {
+	var s Set
+	if s.Count() != 0 {
+		t.Fatalf("empty set count = %d", s.Count())
+	}
+	if s.NumEntries() != 0 || s.Size() != 0 {
+		t.Fatal("empty set has entries")
+	}
+}
+
+func TestCountFlat(t *testing.T) {
+	s := Set{leaf(1), leaf(2), leaf(3)}
+	if got := s.Count(); got != 3 {
+		t.Fatalf("flat count = %d, want 3", got)
+	}
+	if got := s.NumEntries(); got != 3 {
+		t.Fatalf("NumEntries = %d, want 3", got)
+	}
+	if got := s.Size(); got != 3 {
+		t.Fatalf("Size = %d, want 3", got)
+	}
+}
+
+func TestCountProduct(t *testing.T) {
+	// Two entries, each with two children of sizes 2 and 3: 2*(2*3) = 12.
+	child1 := Set{leaf(1), leaf(2)}
+	child2 := Set{leaf(3), leaf(4), leaf(5)}
+	s := Set{
+		{Vals: []int64{10}, Children: []Set{child1, child2}},
+		{Vals: []int64{20}, Children: []Set{child1, child2}},
+	}
+	if got := s.Count(); got != 12 {
+		t.Fatalf("product count = %d, want 12", got)
+	}
+}
+
+func TestCountZeroChild(t *testing.T) {
+	s := Set{{Vals: []int64{1}, Children: []Set{nil}}}
+	if got := s.Count(); got != 0 {
+		t.Fatalf("entry with empty child counts %d, want 0", got)
+	}
+}
+
+func TestSharedSubstructureCountedOnce(t *testing.T) {
+	shared := Set{leaf(1), leaf(2)}
+	s := Set{
+		{Vals: []int64{10}, Children: []Set{shared}},
+		{Vals: []int64{20}, Children: []Set{shared}},
+	}
+	// Count multiplies through sharing: 2 entries × 2 = 4 tuples.
+	if got := s.Count(); got != 4 {
+		t.Fatalf("count = %d, want 4", got)
+	}
+	// But storage counts shared entries once: 2 roots + 2 shared = 4.
+	if got := s.NumEntries(); got != 4 {
+		t.Fatalf("NumEntries = %d, want 4", got)
+	}
+	// Size: roots have 1 value each, shared leaves 1 value each.
+	if got := s.Size(); got != 4 {
+		t.Fatalf("Size = %d, want 4", got)
+	}
+}
+
+func TestDeepNesting(t *testing.T) {
+	// A chain of depth 4 with 2 options per level: 2^4 = 16 tuples from
+	// 8 stored entries.
+	build := func(depth int) Set {
+		var rec func(d int) Set
+		rec = func(d int) Set {
+			if d == 0 {
+				return Set{leaf(0), leaf(1)}
+			}
+			child := rec(d - 1)
+			return Set{
+				{Vals: []int64{int64(d)}, Children: []Set{child}},
+				{Vals: []int64{int64(d + 100)}, Children: []Set{child}},
+			}
+		}
+		return rec(depth)
+	}
+	s := build(3)
+	if got := s.Count(); got != 16 {
+		t.Fatalf("deep count = %d, want 16", got)
+	}
+	if got := s.NumEntries(); got != 8 {
+		t.Fatalf("deep NumEntries = %d, want 8 (sharing)", got)
+	}
+}

@@ -1,0 +1,311 @@
+// Package genericjoin implements the NPRR / GenericJoin worst-case
+// optimal join of Ngo, Porat, Ré and Rudra [17,18] in its hash-based
+// formulation: variables are eliminated one at a time; at each step the
+// candidate set for the current variable is the smallest participating
+// atom's residual value set, filtered by hash probes into the other
+// participating atoms. The paper uses GenericJoin as YTD's per-bag join
+// (§5.1) and cites it as the other family of worst-case optimal
+// algorithms next to LFTJ; this package provides it as an independent
+// baseline so the trie-based and hash-based WCOJ styles can be compared
+// directly.
+package genericjoin
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/leapfrog"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// atomState is one atom's residual index structure: tuples grouped by
+// the values of the atom's already-bound variables.
+type atomState struct {
+	vars   []string // variable names, in derived-relation column order
+	varPos []int    // global order position per column
+	rel    *relation.Relation
+	// index maps a bound-prefix key (per boundMask) to matching tuples.
+	// Rebuilt lazily per distinct bound mask: for a fixed variable order
+	// the mask at each depth is fixed, so each atom builds one index per
+	// depth at which it participates.
+	indexes map[string]*hashIndex
+}
+
+// hashIndex groups the atom's tuples by the key formed from the bound
+// columns; per group it precomputes the sorted distinct values of the
+// probe column and a membership set, so candidate generation and probes
+// are single hash lookups.
+type hashIndex struct {
+	cols     []int
+	probeCol int
+	vals     map[string][]int64
+	valSet   map[string]map[int64]bool
+}
+
+// Instance is a compiled GenericJoin execution.
+type Instance struct {
+	query    *cq.Query
+	order    []string
+	atoms    []*atomState
+	legsAt   [][]int
+	empty    bool
+	counters *stats.Counters
+}
+
+// Build compiles the query under the given variable order (nil: the
+// query's natural order). counters may be nil.
+func Build(q *cq.Query, db *relation.DB, order []string, counters *stats.Counters) (*Instance, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	if order == nil {
+		order = q.Vars()
+	}
+	pos := make(map[string]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	if len(pos) != len(q.Vars()) || len(order) != len(q.Vars()) {
+		return nil, fmt.Errorf("genericjoin: order %v is not a permutation of the query variables", order)
+	}
+	inst := &Instance{
+		query:    q,
+		order:    append([]string(nil), order...),
+		legsAt:   make([][]int, len(order)),
+		counters: counters,
+	}
+	for _, atom := range q.Atoms {
+		rel, err := db.Get(atom.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if rel.Arity() != len(atom.Args) {
+			return nil, fmt.Errorf("genericjoin: atom %s arity mismatch", atom)
+		}
+		derived, vars, err := leapfrog.DeriveAtomRelation(rel, atom)
+		if err != nil {
+			return nil, err
+		}
+		if derived.Len() == 0 {
+			inst.empty = true
+		}
+		if len(vars) == 0 {
+			continue
+		}
+		st := &atomState{
+			vars:    vars,
+			varPos:  make([]int, len(vars)),
+			rel:     derived,
+			indexes: make(map[string]*hashIndex),
+		}
+		for i, v := range vars {
+			p, ok := pos[v]
+			if !ok {
+				return nil, fmt.Errorf("genericjoin: variable %q missing from order", v)
+			}
+			st.varPos[i] = p
+		}
+		inst.atoms = append(inst.atoms, st)
+		ai := len(inst.atoms) - 1
+		for _, p := range st.varPos {
+			inst.legsAt[p] = append(inst.legsAt[p], ai)
+		}
+	}
+	for d, legs := range inst.legsAt {
+		if len(legs) == 0 {
+			return nil, fmt.Errorf("genericjoin: variable %q constrained by no atom", order[d])
+		}
+	}
+	return inst, nil
+}
+
+// indexFor returns (building on first use) the atom's hash index grouped
+// by the columns whose variables come before depth d, with the column of
+// depth d as the probe target.
+func (st *atomState) indexFor(d int, counters *stats.Counters) *hashIndex {
+	key := fmt.Sprintf("%d", d)
+	if idx, ok := st.indexes[key]; ok {
+		return idx
+	}
+	var cols []int
+	probeCol := -1
+	for i, p := range st.varPos {
+		switch {
+		case p < d:
+			cols = append(cols, i)
+		case p == d:
+			probeCol = i
+		}
+	}
+	idx := &hashIndex{
+		cols:     cols,
+		probeCol: probeCol,
+		vals:     make(map[string][]int64),
+		valSet:   make(map[string]map[int64]bool),
+	}
+	keyBuf := make([]int64, len(cols))
+	for i := 0; i < st.rel.Len(); i++ {
+		t := st.rel.Tuple(i)
+		for j, c := range cols {
+			keyBuf[j] = t[c]
+		}
+		k := relation.Key(keyBuf)
+		set := idx.valSet[k]
+		if set == nil {
+			set = make(map[int64]bool)
+			idx.valSet[k] = set
+		}
+		v := t[probeCol]
+		if !set[v] {
+			set[v] = true
+			idx.vals[k] = append(idx.vals[k], v)
+		}
+		if counters != nil {
+			counters.HashAccesses++
+			counters.TupleAccesses += int64(len(t))
+		}
+	}
+	for _, vs := range idx.vals {
+		sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	}
+	st.indexes[key] = idx
+	return idx
+}
+
+// candidateValues returns the sorted distinct values the probe column
+// takes in the group matching the bound assignment.
+func (idx *hashIndex) candidateValues(mu []int64, varPos []int, counters *stats.Counters) []int64 {
+	keyBuf := make([]int64, len(idx.cols))
+	for j, c := range idx.cols {
+		keyBuf[j] = mu[varPos[c]]
+	}
+	if counters != nil {
+		counters.HashAccesses++
+	}
+	return idx.vals[relation.Key(keyBuf)]
+}
+
+// contains reports whether the group matching mu has value v at the
+// probe column.
+func (idx *hashIndex) contains(mu []int64, varPos []int, v int64, counters *stats.Counters) bool {
+	keyBuf := make([]int64, len(idx.cols))
+	for j, c := range idx.cols {
+		keyBuf[j] = mu[varPos[c]]
+	}
+	if counters != nil {
+		counters.HashAccesses++
+	}
+	return idx.valSet[relation.Key(keyBuf)][v]
+}
+
+// Count returns |q(D)|.
+func (in *Instance) Count() int64 {
+	if in.empty {
+		return 0
+	}
+	mu := make([]int64, len(in.order))
+	var rec func(d int) int64
+	rec = func(d int) int64 {
+		if d == len(in.order) {
+			return 1
+		}
+		legs := in.legsAt[d]
+		// Smallest candidate set first (the GenericJoin size heuristic).
+		var cands []int64
+		var candLeg int
+		for i, ai := range legs {
+			idx := in.atoms[ai].indexFor(d, in.counters)
+			vals := idx.candidateValues(mu, in.atoms[ai].varPos, in.counters)
+			if i == 0 || len(vals) < len(cands) {
+				cands, candLeg = vals, ai
+			}
+			if len(cands) == 0 {
+				return 0
+			}
+		}
+		var total int64
+		for _, v := range cands {
+			ok := true
+			for _, ai := range legs {
+				if ai == candLeg {
+					continue
+				}
+				idx := in.atoms[ai].indexFor(d, in.counters)
+				if !idx.contains(mu, in.atoms[ai].varPos, v, in.counters) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				mu[d] = v
+				total += rec(d + 1)
+			}
+		}
+		return total
+	}
+	return rec(0)
+}
+
+// Eval enumerates the result, invoking emit with assignments aligned
+// with the instance order (reused slice; copy to retain). Returning
+// false stops.
+func (in *Instance) Eval(emit func(mu []int64) bool) {
+	if in.empty {
+		return
+	}
+	mu := make([]int64, len(in.order))
+	var rec func(d int) bool
+	rec = func(d int) bool {
+		if d == len(in.order) {
+			return emit(mu)
+		}
+		legs := in.legsAt[d]
+		var cands []int64
+		var candLeg int
+		for i, ai := range legs {
+			idx := in.atoms[ai].indexFor(d, in.counters)
+			vals := idx.candidateValues(mu, in.atoms[ai].varPos, in.counters)
+			if i == 0 || len(vals) < len(cands) {
+				cands, candLeg = vals, ai
+			}
+			if len(cands) == 0 {
+				return true
+			}
+		}
+		for _, v := range cands {
+			ok := true
+			for _, ai := range legs {
+				if ai == candLeg {
+					continue
+				}
+				idx := in.atoms[ai].indexFor(d, in.counters)
+				if !idx.contains(mu, in.atoms[ai].varPos, v, in.counters) {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				mu[d] = v
+				if !rec(d + 1) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	rec(0)
+}
+
+// Order returns the variable order.
+func (in *Instance) Order() []string { return in.order }
+
+// Count runs GenericJoin count over q under its natural variable order.
+func Count(q *cq.Query, db *relation.DB, counters *stats.Counters) (int64, error) {
+	inst, err := Build(q, db, nil, counters)
+	if err != nil {
+		return 0, err
+	}
+	return inst.Count(), nil
+}

@@ -1,0 +1,153 @@
+package genericjoin
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/dataset"
+	"repro/internal/naive"
+	"repro/internal/queries"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+func TestCountMatchesNaive(t *testing.T) {
+	g := dataset.ErdosRenyi(24, 0.15, 61)
+	db := g.DB(false)
+	for _, q := range []*cq.Query{
+		queries.Path(3), queries.Path(4), queries.Path(5),
+		queries.Cycle(3), queries.Cycle(4), queries.Cycle(5),
+		queries.Clique(4),
+		queries.Lollipop(3, 2),
+		queries.Random(5, 0.5, 3),
+	} {
+		want, err := naive.Count(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Count(q, db, nil)
+		if err != nil {
+			t.Fatalf("%s: %v", q, err)
+		}
+		if got != want {
+			t.Errorf("%s: GenericJoin = %d, want %d", q, got, want)
+		}
+	}
+}
+
+func TestOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	g := dataset.ErdosRenyi(18, 0.2, 62)
+	db := g.DB(false)
+	q := queries.Cycle(4)
+	want, _ := naive.Count(q, db)
+	vars := append([]string(nil), q.Vars()...)
+	for trial := 0; trial < 6; trial++ {
+		rng.Shuffle(len(vars), func(i, j int) { vars[i], vars[j] = vars[j], vars[i] })
+		inst, err := Build(q, db, vars, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := inst.Count(); got != want {
+			t.Fatalf("order %v: count = %d, want %d", vars, got, want)
+		}
+	}
+}
+
+func TestEvalMatchesNaive(t *testing.T) {
+	g := dataset.ErdosRenyi(16, 0.25, 63)
+	db := g.DB(false)
+	q := queries.Path(4)
+	inst, err := Build(q, db, q.Vars(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]int64
+	inst.Eval(func(mu []int64) bool {
+		got = append(got, append([]int64(nil), mu...))
+		return true
+	})
+	sort.Slice(got, func(i, j int) bool { return relation.CompareTuples(got[i], got[j]) < 0 })
+	want, _ := naive.Eval(q, db)
+	if len(got) != len(want) {
+		t.Fatalf("eval: %d tuples, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if relation.CompareTuples(got[i], want[i]) != 0 {
+			t.Fatalf("tuple %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEvalEarlyStop(t *testing.T) {
+	g := dataset.ErdosRenyi(20, 0.25, 64)
+	db := g.DB(false)
+	inst, err := Build(queries.Path(3), db, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	inst.Eval(func([]int64) bool {
+		n++
+		return n < 4
+	})
+	if n != 4 {
+		t.Fatalf("early stop emitted %d", n)
+	}
+}
+
+func TestConstantsAndSelfLoops(t *testing.T) {
+	db := relation.NewDB(relation.MustNew("E", 2, [][]int64{{1, 1}, {1, 2}, {2, 3}, {3, 1}}))
+	q := cq.New(
+		cq.Atom{Rel: "E", Args: []cq.Term{cq.C(1), cq.V("y")}},
+		cq.NewAtom("E", "y", "z"),
+	)
+	want, _ := naive.Count(q, db)
+	got, err := Count(q, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("constant query = %d, want %d", got, want)
+	}
+	self := cq.New(cq.Atom{Rel: "E", Args: []cq.Term{cq.V("x"), cq.V("x")}})
+	got, err = Count(self, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 1 {
+		t.Fatalf("self loops = %d, want 1", got)
+	}
+}
+
+func TestEmptyAndErrors(t *testing.T) {
+	db := relation.NewDB(
+		relation.MustNew("E", 2, [][]int64{{1, 2}}),
+		relation.MustNew("F", 2, nil),
+	)
+	q := cq.New(cq.NewAtom("E", "a", "b"), cq.NewAtom("F", "b", "c"))
+	got, err := Count(q, db, nil)
+	if err != nil || got != 0 {
+		t.Fatalf("empty relation: %d, %v", got, err)
+	}
+	if _, err := Build(q, db, []string{"a", "b"}, nil); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := Count(cq.New(cq.NewAtom("missing", "x", "y")), db, nil); err == nil {
+		t.Error("missing relation accepted")
+	}
+}
+
+func TestCountsAccesses(t *testing.T) {
+	g := dataset.ErdosRenyi(20, 0.2, 65)
+	db := g.DB(false)
+	var c stats.Counters
+	if _, err := Count(queries.Cycle(4), db, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.HashAccesses == 0 || c.TupleAccesses == 0 {
+		t.Errorf("no accesses recorded: %+v", c)
+	}
+}

@@ -1,0 +1,179 @@
+package graph
+
+// flowNet is a tiny Dinic max-flow network used to compute minimum vertex
+// cuts. Nodes are dense ints; AddEdge inserts a directed edge with a
+// residual back-edge of capacity 0.
+type flowNet struct {
+	n     int
+	to    []int
+	cap   []int64
+	next  []int
+	head  []int
+	level []int
+	iter  []int
+}
+
+const flowInf = int64(1) << 50
+
+func newFlowNet(n int) *flowNet {
+	f := &flowNet{n: n, head: make([]int, n)}
+	for i := range f.head {
+		f.head[i] = -1
+	}
+	return f
+}
+
+// addEdge adds u->v with capacity c and the residual v->u with capacity 0.
+func (f *flowNet) addEdge(u, v int, c int64) {
+	f.to = append(f.to, v)
+	f.cap = append(f.cap, c)
+	f.next = append(f.next, f.head[u])
+	f.head[u] = len(f.to) - 1
+
+	f.to = append(f.to, u)
+	f.cap = append(f.cap, 0)
+	f.next = append(f.next, f.head[v])
+	f.head[v] = len(f.to) - 1
+}
+
+func (f *flowNet) bfs(s, t int) bool {
+	f.level = make([]int, f.n)
+	for i := range f.level {
+		f.level[i] = -1
+	}
+	queue := []int{s}
+	f.level[s] = 0
+	for q := 0; q < len(queue); q++ {
+		u := queue[q]
+		for e := f.head[u]; e != -1; e = f.next[e] {
+			if f.cap[e] > 0 && f.level[f.to[e]] < 0 {
+				f.level[f.to[e]] = f.level[u] + 1
+				queue = append(queue, f.to[e])
+			}
+		}
+	}
+	return f.level[t] >= 0
+}
+
+func (f *flowNet) dfs(u, t int, pushed int64) int64 {
+	if u == t {
+		return pushed
+	}
+	for ; f.iter[u] != -1; f.iter[u] = f.next[f.iter[u]] {
+		e := f.iter[u]
+		v := f.to[e]
+		if f.cap[e] > 0 && f.level[v] == f.level[u]+1 {
+			d := f.dfs(v, t, min64(pushed, f.cap[e]))
+			if d > 0 {
+				f.cap[e] -= d
+				f.cap[e^1] += d
+				return d
+			}
+		}
+	}
+	return 0
+}
+
+// maxflow runs Dinic from s to t, aborting early once the flow value
+// reaches bound (used to detect "no cut smaller than bound").
+func (f *flowNet) maxflow(s, t int, bound int64) int64 {
+	var flow int64
+	for flow < bound && f.bfs(s, t) {
+		f.iter = make([]int, f.n)
+		copy(f.iter, f.head)
+		for {
+			d := f.dfs(s, t, flowInf)
+			if d == 0 {
+				break
+			}
+			flow += d
+			if flow >= bound {
+				break
+			}
+		}
+	}
+	return flow
+}
+
+// residualReach returns which nodes are reachable from s in the residual
+// network (after maxflow), defining the minimum cut.
+func (f *flowNet) residualReach(s int) []bool {
+	seen := make([]bool, f.n)
+	queue := []int{s}
+	seen[s] = true
+	for q := 0; q < len(queue); q++ {
+		u := queue[q]
+		for e := f.head[u]; e != -1; e = f.next[e] {
+			if f.cap[e] > 0 && !seen[f.to[e]] {
+				seen[f.to[e]] = true
+				queue = append(queue, f.to[e])
+			}
+		}
+	}
+	return seen
+}
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// minVertexCut computes a minimum-size set of "cuttable" internal vertices
+// whose removal disconnects every source in srcs from dst in g, subject to
+// uncuttable vertices (infinite capacity). srcs and dst themselves are
+// never part of the cut. It returns the cut (sorted) and true, or nil and
+// false when no finite cut exists (e.g. a source is adjacent to dst or is
+// dst itself). bound caps the search: cuts of size >= bound are reported
+// as infeasible.
+func minVertexCut(g *Undirected, srcs []int, dst int, uncuttable []bool, bound int64) ([]int, bool) {
+	n := g.N()
+	// Node v splits into in=2v, out=2v+1; super-source is 2n, sink 2n+1.
+	f := newFlowNet(2*n + 2)
+	src := 2 * n
+	sink := 2*n + 1
+	isSrc := make([]bool, n)
+	for _, s := range srcs {
+		if s == dst {
+			return nil, false
+		}
+		isSrc[s] = true
+	}
+	for v := 0; v < n; v++ {
+		c := int64(1)
+		if uncuttable != nil && uncuttable[v] {
+			c = flowInf
+		}
+		if isSrc[v] || v == dst {
+			c = flowInf
+		}
+		f.addEdge(2*v, 2*v+1, c)
+	}
+	for _, e := range g.Edges() {
+		u, v := e[0], e[1]
+		f.addEdge(2*u+1, 2*v, flowInf)
+		f.addEdge(2*v+1, 2*u, flowInf)
+	}
+	for _, s := range srcs {
+		f.addEdge(src, 2*s, flowInf)
+	}
+	f.addEdge(2*dst+1, sink, flowInf)
+
+	limit := bound
+	if limit <= 0 || limit > flowInf/2 {
+		limit = flowInf / 2
+	}
+	flow := f.maxflow(src, sink, limit+1)
+	if flow > limit {
+		return nil, false
+	}
+	reach := f.residualReach(src)
+	var cut []int
+	for v := 0; v < n; v++ {
+		if reach[2*v] && !reach[2*v+1] {
+			cut = append(cut, v)
+		}
+	}
+	return cut, true
+}

@@ -1,0 +1,85 @@
+package leapfrog
+
+import (
+	"sort"
+
+	"repro/internal/trie"
+)
+
+// Frog is the unary leapfrog join: a k-way sorted intersection of the
+// sibling ranges that a set of trie iterators are currently positioned at
+// (Veldhuizen §3). All legs must be at the same conceptual variable.
+type Frog struct {
+	legs []*trie.Iterator
+	p    int
+	done bool
+}
+
+// NewFrog wraps the given legs. The slice is retained and its order may
+// be permuted.
+func NewFrog(legs []*trie.Iterator) *Frog { return &Frog{legs: legs} }
+
+// Init must be called after all legs were Open'ed at the variable's
+// level. It positions the frog at the first match and returns whether one
+// exists.
+func (f *Frog) Init() bool {
+	for _, l := range f.legs {
+		if l.AtEnd() {
+			f.done = true
+			return false
+		}
+	}
+	sort.SliceStable(f.legs, func(i, j int) bool { return f.legs[i].Key() < f.legs[j].Key() })
+	f.p = 0
+	f.done = false
+	return f.search()
+}
+
+// search advances legs until all point at a common key (leapfrog-search).
+func (f *Frog) search() bool {
+	k := len(f.legs)
+	max := f.legs[(f.p+k-1)%k].Key()
+	for {
+		x := f.legs[f.p].Key()
+		if x == max {
+			return true
+		}
+		f.legs[f.p].SeekGE(max)
+		if f.legs[f.p].AtEnd() {
+			f.done = true
+			return false
+		}
+		max = f.legs[f.p].Key()
+		f.p = (f.p + 1) % k
+	}
+}
+
+// Key returns the current match. Valid only after Init/Next/Seek returned
+// true.
+func (f *Frog) Key() int64 { return f.legs[f.p].Key() }
+
+// Next advances to the next match, returning whether one exists.
+func (f *Frog) Next() bool {
+	f.legs[f.p].Next()
+	if f.legs[f.p].AtEnd() {
+		f.done = true
+		return false
+	}
+	f.p = (f.p + 1) % len(f.legs)
+	return f.search()
+}
+
+// Seek advances to the first match with key >= v, returning whether one
+// exists.
+func (f *Frog) SeekGE(v int64) bool {
+	f.legs[f.p].SeekGE(v)
+	if f.legs[f.p].AtEnd() {
+		f.done = true
+		return false
+	}
+	f.p = (f.p + 1) % len(f.legs)
+	return f.search()
+}
+
+// AtEnd reports whether the frog ran off the end.
+func (f *Frog) AtEnd() bool { return f.done }

@@ -1,0 +1,239 @@
+// Package leapfrog implements Veldhuizen's Leapfrog Trie Join: the unary
+// leapfrog k-way sorted intersection, the recursive trie join TJCount of
+// Fig. 1, and full query evaluation. The Instance type — a query bound to
+// a database under a fixed variable ordering, with one trie per atom — is
+// also the substrate CLFTJ (package core), GenericJoin and YTD build on.
+package leapfrog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/trie"
+)
+
+// AtomLeg describes one atom's participation in the join: its trie
+// (columns permuted into global-order-sorted variable order) and the
+// global order positions of its variables, ascending.
+type AtomLeg struct {
+	// Trie indexes the derived relation (constants selected away,
+	// repeated variables collapsed), columns sorted by the global order.
+	Trie *trie.Trie
+	// VarPos[i] is the global order position of trie level i.
+	VarPos []int
+}
+
+// Instance is a full CQ bound to a database under a variable ordering,
+// ready to be counted or evaluated any number of times.
+type Instance struct {
+	query    *cq.Query
+	order    []string
+	atoms    []AtomLeg
+	legsAt   [][]int // legsAt[d] = indices of atoms participating at depth d
+	empty    bool    // some atom's derived relation is empty: result is ∅
+	counters *stats.Counters
+}
+
+// Build compiles the query against db under the given variable order
+// (names; must be a permutation of q.Vars()). counters may be nil.
+//
+// Atoms with constants or repeated variables are legal: the corresponding
+// relation is pre-filtered and projected so every trie level corresponds
+// to a distinct variable. Atoms left with no variables act as boolean
+// guards (an empty guard empties the result).
+func Build(q *cq.Query, db *relation.DB, order []string, counters *stats.Counters) (*Instance, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	qvars := q.Vars()
+	if len(order) != len(qvars) {
+		return nil, fmt.Errorf("leapfrog: order has %d variables, query has %d", len(order), len(qvars))
+	}
+	pos := make(map[string]int, len(order))
+	for i, v := range order {
+		if _, dup := pos[v]; dup {
+			return nil, fmt.Errorf("leapfrog: duplicate variable %q in order", v)
+		}
+		pos[v] = i
+	}
+	for _, v := range qvars {
+		if _, ok := pos[v]; !ok {
+			return nil, fmt.Errorf("leapfrog: order is missing query variable %q", v)
+		}
+	}
+
+	inst := &Instance{
+		query:    q,
+		order:    append([]string(nil), order...),
+		legsAt:   make([][]int, len(order)),
+		counters: counters,
+	}
+	for ai, atom := range q.Atoms {
+		rel, err := db.Get(atom.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if rel.Arity() != len(atom.Args) {
+			return nil, fmt.Errorf("leapfrog: atom %s has %d args, relation has arity %d",
+				atom, len(atom.Args), rel.Arity())
+		}
+		derived, vars, err := DeriveAtomRelation(rel, atom)
+		if err != nil {
+			return nil, err
+		}
+		if derived.Len() == 0 {
+			inst.empty = true
+		}
+		if len(vars) == 0 {
+			continue // constant-only guard atom; emptiness already noted
+		}
+		// Sort the atom's variables by global order position; the trie
+		// levels must follow the variable ordering (§2.4).
+		perm := make([]int, len(vars))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(a, b int) bool { return pos[vars[perm[a]]] < pos[vars[perm[b]]] })
+		permuted, err := derived.Permute(perm)
+		if err != nil {
+			return nil, err
+		}
+		leg := AtomLeg{Trie: trie.Build(permuted, counters), VarPos: make([]int, len(vars))}
+		for i, p := range perm {
+			leg.VarPos[i] = pos[vars[p]]
+		}
+		inst.atoms = append(inst.atoms, leg)
+		legIdx := len(inst.atoms) - 1
+		for _, p := range leg.VarPos {
+			inst.legsAt[p] = append(inst.legsAt[p], legIdx)
+		}
+		_ = ai
+	}
+	for d, legs := range inst.legsAt {
+		if len(legs) == 0 {
+			return nil, fmt.Errorf("leapfrog: variable %q is constrained by no atom", order[d])
+		}
+	}
+	return inst, nil
+}
+
+// DeriveAtomRelation applies the atom's constants and repeated-variable
+// equalities to rel and projects onto one column per distinct variable
+// (first occurrence, in atom order). It returns the derived relation and
+// the distinct variable names in column order. It is shared by every
+// engine that must turn an atom into a variable-pure relation.
+func DeriveAtomRelation(rel *relation.Relation, atom cq.Atom) (*relation.Relation, []string, error) {
+	consts := make(map[int]int64)
+	firstCol := make(map[string]int)
+	classes := make(map[string][]int)
+	var vars []string
+	for col, t := range atom.Args {
+		if !t.IsVar() {
+			consts[col] = t.Const
+			continue
+		}
+		if _, ok := firstCol[t.Var]; !ok {
+			firstCol[t.Var] = col
+			vars = append(vars, t.Var)
+		}
+		classes[t.Var] = append(classes[t.Var], col)
+	}
+	var equal [][]int
+	for _, v := range vars {
+		if cls := classes[v]; len(cls) > 1 {
+			equal = append(equal, cls)
+		}
+	}
+	selected := rel
+	if len(consts) > 0 || len(equal) > 0 {
+		var err error
+		selected, err = rel.Select(consts, equal)
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	cols := make([]int, len(vars))
+	for i, v := range vars {
+		cols[i] = firstCol[v]
+	}
+	if len(cols) == rel.Arity() && len(consts) == 0 && len(equal) == 0 {
+		return selected, vars, nil
+	}
+	projected, err := selected.Project(cols)
+	if err != nil {
+		return nil, nil, err
+	}
+	return projected, vars, nil
+}
+
+// Order returns the variable ordering (names, by depth).
+func (in *Instance) Order() []string { return in.order }
+
+// Query returns the underlying query.
+func (in *Instance) Query() *cq.Query { return in.query }
+
+// Counters returns the accounting sink (possibly nil).
+func (in *Instance) Counters() *stats.Counters { return in.counters }
+
+// NumVars returns the number of join variables.
+func (in *Instance) NumVars() int { return len(in.order) }
+
+// Empty reports whether some atom's derived relation is empty, forcing an
+// empty result.
+func (in *Instance) Empty() bool { return in.empty }
+
+// Legs returns the atom legs (for engines layered on the instance).
+func (in *Instance) Legs() []AtomLeg { return in.atoms }
+
+// LegsAt returns, per depth, the indices into Legs of the participating
+// atoms.
+func (in *Instance) LegsAt() [][]int { return in.legsAt }
+
+// EstimateOrderCost approximates the cost model of Chu et al. [7] for the
+// instance's variable ordering: the total number of partial assignments
+// explored, estimated from trie fanouts. For each depth the expected
+// number of extensions of a partial assignment is the minimum, over the
+// participating atoms, of the atom's fanout into that level (level sizes
+// for first levels). The cost is the sum over depths of the estimated
+// prefix cardinalities.
+func (in *Instance) EstimateOrderCost() float64 {
+	if in.empty {
+		return 0
+	}
+	prefix := 1.0
+	cost := 0.0
+	for d := range in.order {
+		ext := -1.0
+		for _, li := range in.legsAt[d] {
+			leg := in.atoms[li]
+			lvl := indexOf(leg.VarPos, d)
+			var f float64
+			if lvl == 0 {
+				f = float64(leg.Trie.Len(0))
+			} else {
+				f = leg.Trie.Fanout(lvl - 1)
+			}
+			if ext < 0 || f < ext {
+				ext = f
+			}
+		}
+		if ext < 0 {
+			ext = 1
+		}
+		prefix *= ext
+		cost += prefix
+	}
+	return cost
+}
+
+func indexOf(xs []int, v int) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,132 @@
+package leapfrog
+
+import "repro/internal/trie"
+
+// Runner executes LFTJ over an Instance: TJCount of Fig. 1 and its
+// evaluation twin. A Runner holds per-run iterator state; create one per
+// execution (Count and Eval below do so). It is exported because CLFTJ
+// (package core) drives the same machinery with cache hooks.
+type Runner struct {
+	inst  *Instance
+	iters []*trie.Iterator // one per atom leg
+	frogs []*Frog          // one per depth, legs bound at depth entry
+	legs  [][]*trie.Iterator
+	mu    []int64 // current partial assignment, by depth
+}
+
+// NewRunner prepares fresh iterators and per-depth frogs for one
+// execution over the instance.
+func NewRunner(inst *Instance) *Runner {
+	r := &Runner{
+		inst:  inst,
+		iters: make([]*trie.Iterator, len(inst.atoms)),
+		frogs: make([]*Frog, inst.NumVars()),
+		legs:  make([][]*trie.Iterator, inst.NumVars()),
+		mu:    make([]int64, inst.NumVars()),
+	}
+	for i, leg := range inst.atoms {
+		r.iters[i] = leg.Trie.NewIterator()
+	}
+	for d, legIdxs := range inst.legsAt {
+		ls := make([]*trie.Iterator, len(legIdxs))
+		for j, li := range legIdxs {
+			ls[j] = r.iters[li]
+		}
+		r.legs[d] = ls
+		r.frogs[d] = NewFrog(ls)
+	}
+	return r
+}
+
+// Instance returns the instance the runner executes.
+func (r *Runner) Instance() *Instance { return r.inst }
+
+// Assignment returns the current partial assignment by depth; valid
+// during callbacks.
+func (r *Runner) Assignment() []int64 { return r.mu }
+
+// OpenDepth opens all legs of depth d (descends each participating atom
+// iterator into the level of variable order[d]) and returns the frog,
+// initialized. Callers must balance with CloseDepth.
+func (r *Runner) OpenDepth(d int) (*Frog, bool) {
+	for _, it := range r.legs[d] {
+		it.Open()
+	}
+	f := r.frogs[d]
+	return f, f.Init()
+}
+
+// CloseDepth ascends all legs of depth d.
+func (r *Runner) CloseDepth(d int) {
+	for _, it := range r.legs[d] {
+		it.Up()
+	}
+}
+
+// Count implements TJCount (Fig. 1): the number of tuples in q(D).
+func (r *Runner) Count() int64 {
+	if r.inst.empty {
+		return 0
+	}
+	return r.countFrom(0)
+}
+
+func (r *Runner) countFrom(d int) int64 {
+	if d == r.inst.NumVars() {
+		return 1
+	}
+	f, ok := r.OpenDepth(d)
+	var total int64
+	for ok {
+		r.mu[d] = f.Key()
+		total += r.countFrom(d + 1)
+		ok = f.Next()
+	}
+	r.CloseDepth(d)
+	return total
+}
+
+// Eval enumerates q(D), invoking emit with the full assignment (indexed
+// by depth; aligned with Instance.Order). The slice is reused across
+// calls — emit must copy it to retain it. Returning false stops the
+// enumeration early.
+func (r *Runner) Eval(emit func(mu []int64) bool) {
+	if r.inst.empty {
+		return
+	}
+	r.evalFrom(0, emit)
+}
+
+func (r *Runner) evalFrom(d int, emit func([]int64) bool) bool {
+	if d == r.inst.NumVars() {
+		return emit(r.mu)
+	}
+	f, ok := r.OpenDepth(d)
+	cont := true
+	for ok && cont {
+		r.mu[d] = f.Key()
+		cont = r.evalFrom(d+1, emit)
+		if cont {
+			ok = f.Next()
+		}
+	}
+	r.CloseDepth(d)
+	return cont
+}
+
+// Count runs vanilla LFTJ count over the instance.
+func Count(inst *Instance) int64 { return NewRunner(inst).Count() }
+
+// Eval runs vanilla LFTJ evaluation over the instance.
+func Eval(inst *Instance, emit func(mu []int64) bool) { NewRunner(inst).Eval(emit) }
+
+// EvalTuples materializes the result in order-variable order; intended
+// for tests and small results.
+func EvalTuples(inst *Instance) [][]int64 {
+	var out [][]int64
+	Eval(inst, func(mu []int64) bool {
+		out = append(out, append([]int64(nil), mu...))
+		return true
+	})
+	return out
+}

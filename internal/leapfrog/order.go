@@ -1,0 +1,268 @@
+package leapfrog
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+// This file implements variable-order search on top of the Chu-et-al.-
+// style cost estimate (§4.3 uses the cost of [7] to rank orders). The
+// estimator here mirrors Instance.EstimateOrderCost but works from
+// per-atom prefix statistics, so evaluating one candidate order is a few
+// arithmetic operations instead of a trie build — cheap enough for an
+// exhaustive search over small queries.
+
+// atomStats holds, per permutation of an atom's columns, the number of
+// distinct prefixes at every depth (= trie level sizes under that
+// column order).
+type atomStats struct {
+	vars   []string
+	levels map[string][]int // permutation key -> level sizes
+}
+
+// OrderSearcher evaluates and searches variable orders for a query over
+// a database.
+type OrderSearcher struct {
+	vars  []string
+	atoms []*atomStats
+}
+
+// NewOrderSearcher precomputes the per-atom statistics. Atoms of arity
+// above 5 are rejected (their permutation space explodes; the paper's
+// workloads are binary).
+func NewOrderSearcher(q *cq.Query, db *relation.DB) (*OrderSearcher, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	s := &OrderSearcher{vars: q.Vars()}
+	for _, atom := range q.Atoms {
+		rel, err := db.Get(atom.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if rel.Arity() != len(atom.Args) {
+			return nil, fmt.Errorf("leapfrog: atom %s arity mismatch", atom)
+		}
+		derived, vars, err := DeriveAtomRelation(rel, atom)
+		if err != nil {
+			return nil, err
+		}
+		if len(vars) == 0 {
+			continue
+		}
+		if len(vars) > 5 {
+			return nil, fmt.Errorf("leapfrog: order search supports atoms of arity <= 5, got %d", len(vars))
+		}
+		st := &atomStats{vars: vars, levels: make(map[string][]int)}
+		forEachPermutation(len(vars), func(perm []int) {
+			st.levels[permKey(perm)] = prefixCounts(derived, perm)
+		})
+		s.atoms = append(s.atoms, st)
+	}
+	if len(s.atoms) == 0 {
+		return nil, fmt.Errorf("leapfrog: query has no variable atoms")
+	}
+	return s, nil
+}
+
+// prefixCounts returns, for each depth, the number of distinct prefixes
+// of the permuted relation.
+func prefixCounts(rel *relation.Relation, perm []int) []int {
+	k := len(perm)
+	counts := make([]int, k)
+	seen := make([]map[string]bool, k)
+	for d := range seen {
+		seen[d] = make(map[string]bool)
+	}
+	buf := make([]int64, k)
+	for i := 0; i < rel.Len(); i++ {
+		t := rel.Tuple(i)
+		for d, c := range perm {
+			buf[d] = t[c]
+			key := relation.Key(buf[:d+1])
+			if !seen[d][key] {
+				seen[d][key] = true
+				counts[d]++
+			}
+		}
+	}
+	return counts
+}
+
+func permKey(perm []int) string {
+	b := make([]byte, len(perm))
+	for i, p := range perm {
+		b[i] = byte(p)
+	}
+	return string(b)
+}
+
+func forEachPermutation(n int, f func([]int)) {
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			f(perm)
+			return
+		}
+		for j := i; j < n; j++ {
+			perm[i], perm[j] = perm[j], perm[i]
+			rec(i + 1)
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+	}
+	rec(0)
+}
+
+// Cost estimates the LFTJ cost of the order (names; must be a
+// permutation of the query variables): the sum over depths of the
+// estimated number of partial assignments, with each extension count the
+// minimum participating-atom fanout.
+func (s *OrderSearcher) Cost(order []string) (float64, error) {
+	pos := make(map[string]int, len(order))
+	for i, v := range order {
+		pos[v] = i
+	}
+	if len(pos) != len(s.vars) || len(order) != len(s.vars) {
+		return 0, fmt.Errorf("leapfrog: order %v is not a permutation of the query variables", order)
+	}
+	return s.cost(pos), nil
+}
+
+func (s *OrderSearcher) cost(pos map[string]int) float64 {
+	type legInfo struct {
+		levels []int
+		depth  []int // global depth per level
+	}
+	var legs []legInfo
+	for _, st := range s.atoms {
+		perm := make([]int, len(st.vars))
+		for i := range perm {
+			perm[i] = i
+		}
+		sort.Slice(perm, func(a, b int) bool { return pos[st.vars[perm[a]]] < pos[st.vars[perm[b]]] })
+		levels := st.levels[permKey(perm)]
+		depth := make([]int, len(perm))
+		for lvl, col := range perm {
+			depth[lvl] = pos[st.vars[col]]
+		}
+		legs = append(legs, legInfo{levels: levels, depth: depth})
+	}
+	n := len(s.vars)
+	prefix := 1.0
+	cost := 0.0
+	for d := 0; d < n; d++ {
+		ext := -1.0
+		for _, leg := range legs {
+			for lvl, dd := range leg.depth {
+				if dd != d {
+					continue
+				}
+				var f float64
+				if lvl == 0 {
+					f = float64(leg.levels[0])
+				} else if leg.levels[lvl-1] > 0 {
+					f = float64(leg.levels[lvl]) / float64(leg.levels[lvl-1])
+				} else {
+					f = 0
+				}
+				if ext < 0 || f < ext {
+					ext = f
+				}
+			}
+		}
+		if ext < 0 {
+			ext = 1 // unconstrained depth (cannot happen for valid queries)
+		}
+		prefix *= ext
+		cost += prefix
+	}
+	return cost
+}
+
+// Best searches for a minimum-estimated-cost order: exhaustively for up
+// to 8 variables, greedily (cheapest marginal extension next) beyond.
+func (s *OrderSearcher) Best() ([]string, float64) {
+	n := len(s.vars)
+	if n <= 8 {
+		return s.bestExhaustive()
+	}
+	return s.bestGreedy()
+}
+
+func (s *OrderSearcher) bestExhaustive() ([]string, float64) {
+	var best []string
+	bestCost := -1.0
+	order := make([]string, len(s.vars))
+	forEachPermutation(len(s.vars), func(perm []int) {
+		for i, p := range perm {
+			order[i] = s.vars[p]
+		}
+		pos := make(map[string]int, len(order))
+		for i, v := range order {
+			pos[v] = i
+		}
+		c := s.cost(pos)
+		if bestCost < 0 || c < bestCost {
+			bestCost = c
+			best = append(best[:0], order...)
+		}
+	})
+	return best, bestCost
+}
+
+func (s *OrderSearcher) bestGreedy() ([]string, float64) {
+	n := len(s.vars)
+	chosen := make([]string, 0, n)
+	used := make(map[string]bool, n)
+	for len(chosen) < n {
+		bestVar := ""
+		bestCost := -1.0
+		for _, v := range s.vars {
+			if used[v] {
+				continue
+			}
+			cand := append(append([]string(nil), chosen...), v)
+			// Complete the order arbitrarily with the remaining vars to
+			// get a comparable full-order cost.
+			for _, w := range s.vars {
+				if !used[w] && w != v {
+					cand = append(cand, w)
+				}
+			}
+			pos := make(map[string]int, n)
+			for i, w := range cand {
+				pos[w] = i
+			}
+			c := s.cost(pos)
+			if bestCost < 0 || c < bestCost {
+				bestCost = c
+				bestVar = v
+			}
+		}
+		chosen = append(chosen, bestVar)
+		used[bestVar] = true
+	}
+	pos := make(map[string]int, n)
+	for i, v := range chosen {
+		pos[v] = i
+	}
+	return chosen, s.cost(pos)
+}
+
+// BestOrder is a convenience wrapper: it returns the estimated-cheapest
+// variable order for q over db and its estimated cost.
+func BestOrder(q *cq.Query, db *relation.DB) ([]string, float64, error) {
+	s, err := NewOrderSearcher(q, db)
+	if err != nil {
+		return nil, 0, err
+	}
+	order, cost := s.Best()
+	return order, cost, nil
+}

@@ -1,0 +1,141 @@
+package leapfrog
+
+import (
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/dataset"
+	"repro/internal/naive"
+	"repro/internal/queries"
+)
+
+func TestOrderSearcherCostMatchesInstanceEstimate(t *testing.T) {
+	g := dataset.PreferentialAttachment(80, 3, 71)
+	db := g.DB(false)
+	q := queries.Path(4)
+	s, err := NewOrderSearcher(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, order := range [][]string{
+		{"x1", "x2", "x3", "x4"},
+		{"x4", "x3", "x2", "x1"},
+		{"x2", "x1", "x3", "x4"},
+	} {
+		inst, err := Build(q, db, order, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := inst.EstimateOrderCost()
+		got, err := s.Cost(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-want) > 1e-6*math.Max(1, want) {
+			t.Errorf("order %v: searcher cost %g, instance estimate %g", order, got, want)
+		}
+	}
+}
+
+func TestBestOrderIsMinimalOverPermutations(t *testing.T) {
+	g := dataset.PreferentialAttachment(60, 3, 72)
+	db := g.DB(false)
+	q := queries.Path(4)
+	s, err := NewOrderSearcher(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, bestCost := s.Best()
+	// Exhaustively verify no permutation is cheaper.
+	vars := q.Vars()
+	forEachPermutation(len(vars), func(perm []int) {
+		order := make([]string, len(vars))
+		for i, p := range perm {
+			order[i] = vars[p]
+		}
+		c, err := s.Cost(order)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c < bestCost-1e-9 {
+			t.Fatalf("order %v costs %g < best %v (%g)", order, c, best, bestCost)
+		}
+	})
+	// The best order must be a valid permutation.
+	sorted := append([]string(nil), best...)
+	sort.Strings(sorted)
+	wantSorted := append([]string(nil), vars...)
+	sort.Strings(wantSorted)
+	if !reflect.DeepEqual(sorted, wantSorted) {
+		t.Fatalf("best order %v is not a permutation of %v", best, vars)
+	}
+}
+
+func TestBestOrderCountsStayCorrect(t *testing.T) {
+	g := dataset.PreferentialAttachment(50, 3, 73)
+	db := g.DB(false)
+	for _, q := range []*cq.Query{queries.Path(4), queries.Cycle(4), queries.Lollipop(3, 1)} {
+		order, _, err := BestOrder(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		inst, err := Build(q, db, order, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := naive.Count(q, db)
+		if got := Count(inst); got != want {
+			t.Errorf("%s under best order %v: count %d, want %d", q, order, got, want)
+		}
+	}
+}
+
+func TestBestOrderGreedyLargeQuery(t *testing.T) {
+	g := dataset.ErdosRenyi(14, 0.12, 74)
+	db := g.DB(false)
+	q := queries.Path(10) // 10 vars: exercises the greedy path
+	order, cost, err := BestOrder(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 10 || cost <= 0 {
+		t.Fatalf("greedy order %v cost %g", order, cost)
+	}
+	inst, err := Build(q, db, order, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reference: LFTJ under the natural order (order independence is
+	// established elsewhere; naive would enumerate tens of millions of
+	// paths here).
+	natural, err := Build(q, db, q.Vars(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Count(natural)
+	if got := Count(inst); got != want {
+		t.Fatalf("10-path count %d, want %d", got, want)
+	}
+}
+
+func TestOrderSearcherErrors(t *testing.T) {
+	g := dataset.ErdosRenyi(10, 0.3, 75)
+	db := g.DB(false)
+	q := queries.Path(3)
+	s, err := NewOrderSearcher(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Cost([]string{"x1", "x2"}); err == nil {
+		t.Error("short order accepted")
+	}
+	if _, err := s.Cost([]string{"x1", "x2", "x2"}); err == nil {
+		t.Error("duplicate order accepted")
+	}
+	if _, err := NewOrderSearcher(cq.New(cq.NewAtom("missing", "a", "b")), db); err == nil {
+		t.Error("missing relation accepted")
+	}
+}

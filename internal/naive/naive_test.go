@@ -1,0 +1,75 @@
+package naive
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/relation"
+)
+
+func TestEvalHandComputed(t *testing.T) {
+	// E = {(1,2),(2,3),(1,3)}; paths E(x,y),E(y,z): (1,2,3) only.
+	db := relation.NewDB(relation.MustNew("E", 2, [][]int64{{1, 2}, {2, 3}, {1, 3}}))
+	q := cq.New(cq.NewAtom("E", "x", "y"), cq.NewAtom("E", "y", "z"))
+	got, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{1, 2, 3}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("Eval = %v, want %v", got, want)
+	}
+	n, err := Count(q, db)
+	if err != nil || n != 1 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestEvalConstantsAndRepeats(t *testing.T) {
+	db := relation.NewDB(relation.MustNew("E", 2, [][]int64{{1, 1}, {1, 2}, {2, 2}}))
+	// Self loops.
+	qSelf := cq.New(cq.Atom{Rel: "E", Args: []cq.Term{cq.V("x"), cq.V("x")}})
+	got, err := Eval(qSelf, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, [][]int64{{1}, {2}}) {
+		t.Fatalf("self loops = %v", got)
+	}
+	// Constant filter.
+	qConst := cq.New(cq.Atom{Rel: "E", Args: []cq.Term{cq.C(1), cq.V("y")}})
+	got, err = Eval(qConst, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, [][]int64{{1}, {2}}) {
+		t.Fatalf("constant filter = %v", got)
+	}
+	// Unsatisfiable constant.
+	qNo := cq.New(cq.Atom{Rel: "E", Args: []cq.Term{cq.C(7), cq.V("y")}})
+	if n, _ := Count(qNo, db); n != 0 {
+		t.Fatalf("unsatisfiable constant = %d", n)
+	}
+}
+
+func TestEvalDeduplicates(t *testing.T) {
+	// Two identical atoms must not duplicate results.
+	db := relation.NewDB(relation.MustNew("E", 2, [][]int64{{1, 2}, {3, 4}}))
+	q := cq.New(cq.NewAtom("E", "a", "b"), cq.NewAtom("E", "a", "b"))
+	got, err := Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("duplicate atoms produced %d tuples, want 2", len(got))
+	}
+}
+
+func TestEvalMissingRelation(t *testing.T) {
+	db := relation.NewDB()
+	q := cq.New(cq.NewAtom("E", "a", "b"))
+	if _, err := Eval(q, db); err == nil {
+		t.Fatal("missing relation accepted")
+	}
+}

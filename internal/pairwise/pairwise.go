@@ -1,0 +1,222 @@
+// Package pairwise implements the traditional pairwise-join baseline
+// standing in for the PostgreSQL comparison point of §5.3.5: a
+// Selinger-style left-deep plan of hash joins with greedy ordering
+// (smallest connected atom next), fully materializing every intermediate
+// result. Its blow-up on cyclic queries is precisely the behaviour
+// worst-case-optimal joins avoid.
+package pairwise
+
+import (
+	"fmt"
+
+	"repro/internal/cq"
+	"repro/internal/leapfrog"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// intermediate is a materialized result over a schema of variable names.
+type intermediate struct {
+	vars   []string
+	tuples [][]int64
+}
+
+// Result reports a pairwise execution.
+type Result struct {
+	// Count is |q(D)|.
+	Count int64
+	// PeakIntermediate is the largest materialized intermediate tuple
+	// count (the memory-pressure proxy).
+	PeakIntermediate int
+}
+
+// Count runs the pairwise plan and returns |q(D)| together with the peak
+// intermediate size. counters may be nil.
+func Count(q *cq.Query, db *relation.DB, counters *stats.Counters) (Result, error) {
+	inter, err := run(q, db, counters)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Count: int64(len(inter.res.tuples)), PeakIntermediate: inter.peak}, nil
+}
+
+// Eval runs the pairwise plan and emits tuples over q.Vars() order.
+func Eval(q *cq.Query, db *relation.DB, counters *stats.Counters, emit func([]int64) bool) error {
+	inter, err := run(q, db, counters)
+	if err != nil {
+		return err
+	}
+	qvars := q.Vars()
+	pos := make([]int, len(qvars))
+	for i, v := range qvars {
+		pos[i] = indexOf(inter.res.vars, v)
+	}
+	out := make([]int64, len(qvars))
+	for _, t := range inter.res.tuples {
+		for i, p := range pos {
+			out[i] = t[p]
+		}
+		if !emit(out) {
+			return nil
+		}
+	}
+	return nil
+}
+
+type runResult struct {
+	res  *intermediate
+	peak int
+}
+
+func run(q *cq.Query, db *relation.DB, counters *stats.Counters) (*runResult, error) {
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	// Derive atom relations (constants/repeats handled once).
+	type atomRel struct {
+		vars []string
+		rel  *relation.Relation
+	}
+	var atoms []atomRel
+	for _, atom := range q.Atoms {
+		rel, err := db.Get(atom.Rel)
+		if err != nil {
+			return nil, err
+		}
+		if rel.Arity() != len(atom.Args) {
+			return nil, fmt.Errorf("pairwise: atom %s has %d args, relation has arity %d",
+				atom, len(atom.Args), rel.Arity())
+		}
+		derived, vars, err := leapfrog.DeriveAtomRelation(rel, atom)
+		if err != nil {
+			return nil, err
+		}
+		if derived.Len() == 0 {
+			return &runResult{res: &intermediate{vars: q.Vars()}}, nil
+		}
+		if len(vars) == 0 {
+			continue // satisfied constant guard
+		}
+		atoms = append(atoms, atomRel{vars: vars, rel: derived})
+	}
+	if len(atoms) == 0 {
+		return nil, fmt.Errorf("pairwise: query has no variable atoms")
+	}
+
+	used := make([]bool, len(atoms))
+	// Greedy left-deep order: start from the smallest relation; then
+	// repeatedly join the smallest unused atom sharing a variable with
+	// the current schema (falling back to a cross product when the
+	// pattern is disconnected).
+	start := 0
+	for i := range atoms {
+		if atoms[i].rel.Len() < atoms[start].rel.Len() {
+			start = i
+		}
+	}
+	used[start] = true
+	cur := &intermediate{vars: append([]string(nil), atoms[start].vars...), tuples: atoms[start].rel.Tuples()}
+	if counters != nil {
+		counters.TupleAccesses += int64(len(cur.tuples) * len(cur.vars))
+	}
+	peak := len(cur.tuples)
+	for remaining := len(atoms) - 1; remaining > 0; remaining-- {
+		next := -1
+		nextShares := false
+		for i := range atoms {
+			if used[i] {
+				continue
+			}
+			shares := sharesVar(cur.vars, atoms[i].vars)
+			switch {
+			case next == -1,
+				shares && !nextShares,
+				shares == nextShares && atoms[i].rel.Len() < atoms[next].rel.Len():
+				next = i
+				nextShares = shares
+			}
+		}
+		used[next] = true
+		cur = hashJoin(cur, atoms[next].vars, atoms[next].rel, counters)
+		if len(cur.tuples) > peak {
+			peak = len(cur.tuples)
+		}
+	}
+	return &runResult{res: cur, peak: peak}, nil
+}
+
+// hashJoin joins the intermediate with an atom relation on their shared
+// variables, building the hash table on the atom side.
+func hashJoin(left *intermediate, rightVars []string, right *relation.Relation, counters *stats.Counters) *intermediate {
+	var sharedL, sharedR []int
+	var newR []int
+	for ri, v := range rightVars {
+		if li := indexOf(left.vars, v); li >= 0 {
+			sharedL = append(sharedL, li)
+			sharedR = append(sharedR, ri)
+		} else {
+			newR = append(newR, ri)
+		}
+	}
+	outVars := append([]string(nil), left.vars...)
+	for _, ri := range newR {
+		outVars = append(outVars, rightVars[ri])
+	}
+
+	table := make(map[string][][]int64)
+	key := make([]int64, len(sharedR))
+	for i := 0; i < right.Len(); i++ {
+		t := right.Tuple(i)
+		for j, ri := range sharedR {
+			key[j] = t[ri]
+		}
+		k := relation.Key(key)
+		table[k] = append(table[k], t)
+		if counters != nil {
+			counters.HashAccesses++
+			counters.TupleAccesses += int64(len(t))
+		}
+	}
+
+	out := &intermediate{vars: outVars}
+	lkey := make([]int64, len(sharedL))
+	for _, lt := range left.tuples {
+		for j, li := range sharedL {
+			lkey[j] = lt[li]
+		}
+		if counters != nil {
+			counters.HashAccesses++
+			counters.TupleAccesses += int64(len(sharedL))
+		}
+		for _, rt := range table[relation.Key(lkey)] {
+			tup := make([]int64, 0, len(outVars))
+			tup = append(tup, lt...)
+			for _, ri := range newR {
+				tup = append(tup, rt[ri])
+			}
+			if counters != nil {
+				counters.TupleAccesses += int64(len(tup))
+			}
+			out.tuples = append(out.tuples, tup)
+		}
+	}
+	return out
+}
+
+func sharesVar(a, b []string) bool {
+	for _, v := range b {
+		if indexOf(a, v) >= 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func indexOf(xs []string, v string) int {
+	for i, x := range xs {
+		if x == v {
+			return i
+		}
+	}
+	return -1
+}

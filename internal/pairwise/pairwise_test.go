@@ -1,0 +1,108 @@
+package pairwise
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/dataset"
+	"repro/internal/naive"
+	"repro/internal/queries"
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+func checkPairwise(t *testing.T, q *cq.Query, db *relation.DB) {
+	t.Helper()
+	want, err := naive.Count(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Count(q, db, nil)
+	if err != nil {
+		t.Fatalf("Count: %v", err)
+	}
+	if res.Count != want {
+		t.Errorf("pairwise count = %d, want %d", res.Count, want)
+	}
+	if res.PeakIntermediate < int(res.Count) && want > 0 {
+		t.Errorf("peak intermediate %d below final size %d", res.PeakIntermediate, res.Count)
+	}
+
+	wantTuples, err := naive.Eval(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got [][]int64
+	if err := Eval(q, db, nil, func(tup []int64) bool {
+		got = append(got, append([]int64(nil), tup...))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	sort.Slice(got, func(i, j int) bool { return relation.CompareTuples(got[i], got[j]) < 0 })
+	if len(got) != len(wantTuples) {
+		t.Fatalf("pairwise eval: %d tuples, want %d", len(got), len(wantTuples))
+	}
+	for i := range got {
+		if relation.CompareTuples(got[i], wantTuples[i]) != 0 {
+			t.Fatalf("pairwise eval tuple %d = %v, want %v", i, got[i], wantTuples[i])
+		}
+	}
+}
+
+func TestPairwiseAgreesWithNaive(t *testing.T) {
+	g := dataset.ErdosRenyi(24, 0.15, 31)
+	db := g.DB(false)
+	for _, q := range []*cq.Query{
+		queries.Path(3), queries.Path(4),
+		queries.Cycle(3), queries.Cycle(4), queries.Cycle(5),
+		queries.Lollipop(3, 1),
+		queries.Random(5, 0.5, 23),
+	} {
+		checkPairwise(t, q, db)
+	}
+}
+
+func TestPairwiseWithConstants(t *testing.T) {
+	db := relation.NewDB(relation.MustNew("E", 2, [][]int64{{1, 2}, {2, 3}, {3, 4}, {1, 3}}))
+	q := cq.New(
+		cq.Atom{Rel: "E", Args: []cq.Term{cq.C(1), cq.V("y")}},
+		cq.NewAtom("E", "y", "z"),
+	)
+	checkPairwise(t, q, db)
+}
+
+func TestPairwiseDisconnectedPattern(t *testing.T) {
+	db := relation.NewDB(relation.MustNew("E", 2, [][]int64{{1, 2}, {3, 4}}))
+	// Two independent edges: a cross product.
+	q := cq.New(cq.NewAtom("E", "a", "b"), cq.NewAtom("E", "c", "d"))
+	checkPairwise(t, q, db)
+}
+
+func TestPairwiseEmptyRelation(t *testing.T) {
+	db := relation.NewDB(
+		relation.MustNew("E", 2, [][]int64{{1, 2}}),
+		relation.MustNew("F", 2, nil),
+	)
+	q := cq.New(cq.NewAtom("E", "a", "b"), cq.NewAtom("F", "b", "c"))
+	res, err := Count(q, db, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Count != 0 {
+		t.Errorf("count over empty relation = %d, want 0", res.Count)
+	}
+}
+
+func TestPairwiseAccountsAccesses(t *testing.T) {
+	g := dataset.ErdosRenyi(20, 0.2, 3)
+	db := g.DB(false)
+	var c stats.Counters
+	if _, err := Count(queries.Cycle(4), db, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.Total() == 0 {
+		t.Error("pairwise performed no counted accesses")
+	}
+}

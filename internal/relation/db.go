@@ -1,0 +1,52 @@
+package relation
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DB is a database: a set of relations addressed by name. The zero value
+// is empty and ready to use via Put.
+type DB struct {
+	rels map[string]*Relation
+}
+
+// NewDB returns a database holding the given relations. Later relations
+// with duplicate names replace earlier ones.
+func NewDB(rels ...*Relation) *DB {
+	db := &DB{rels: make(map[string]*Relation, len(rels))}
+	for _, r := range rels {
+		db.rels[r.Name()] = r
+	}
+	return db
+}
+
+// Put inserts or replaces a relation.
+func (db *DB) Put(r *Relation) {
+	if db.rels == nil {
+		db.rels = make(map[string]*Relation)
+	}
+	db.rels[r.Name()] = r
+}
+
+// Get returns the named relation, or an error naming the missing relation.
+func (db *DB) Get(name string) (*Relation, error) {
+	r, ok := db.rels[name]
+	if !ok {
+		return nil, fmt.Errorf("database has no relation %q", name)
+	}
+	return r, nil
+}
+
+// Names returns the relation names in sorted order.
+func (db *DB) Names() []string {
+	names := make([]string, 0, len(db.rels))
+	for n := range db.rels {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Len returns the number of relations.
+func (db *DB) Len() int { return len(db.rels) }

@@ -1,0 +1,77 @@
+package relation
+
+import "fmt"
+
+// Dict is a string dictionary: it maps attribute strings to dense int64
+// codes and back, letting string-valued data (names, labels, URIs) flow
+// through the integer-only join engines. Codes are assigned in first-
+// appearance order starting at 0.
+type Dict struct {
+	codes map[string]int64
+	names []string
+}
+
+// NewDict returns an empty dictionary.
+func NewDict() *Dict {
+	return &Dict{codes: make(map[string]int64)}
+}
+
+// Encode returns the code for s, assigning a fresh one if needed.
+func (d *Dict) Encode(s string) int64 {
+	if c, ok := d.codes[s]; ok {
+		return c
+	}
+	c := int64(len(d.names))
+	d.codes[s] = c
+	d.names = append(d.names, s)
+	return c
+}
+
+// Code returns the code for s without assigning, and whether it exists.
+func (d *Dict) Code(s string) (int64, bool) {
+	c, ok := d.codes[s]
+	return c, ok
+}
+
+// Decode returns the string for a code; ok is false for unknown codes.
+func (d *Dict) Decode(c int64) (string, bool) {
+	if c < 0 || c >= int64(len(d.names)) {
+		return "", false
+	}
+	return d.names[c], true
+}
+
+// MustDecode is Decode but panics on unknown codes (engine outputs are
+// always in-range when the inputs were encoded with the same Dict).
+func (d *Dict) MustDecode(c int64) string {
+	s, ok := d.Decode(c)
+	if !ok {
+		panic(fmt.Sprintf("relation: code %d not in dictionary (size %d)", c, len(d.names)))
+	}
+	return s
+}
+
+// Len returns the number of distinct strings encoded.
+func (d *Dict) Len() int { return len(d.names) }
+
+// EncodeTuple encodes a string tuple in place-order into a fresh []int64.
+func (d *Dict) EncodeTuple(fields []string) []int64 {
+	out := make([]int64, len(fields))
+	for i, f := range fields {
+		out[i] = d.Encode(f)
+	}
+	return out
+}
+
+// DecodeTuple decodes an engine output tuple back to strings.
+func (d *Dict) DecodeTuple(vals []int64) ([]string, error) {
+	out := make([]string, len(vals))
+	for i, v := range vals {
+		s, ok := d.Decode(v)
+		if !ok {
+			return nil, fmt.Errorf("relation: code %d not in dictionary", v)
+		}
+		out[i] = s
+	}
+	return out, nil
+}

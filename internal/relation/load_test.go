@@ -1,0 +1,110 @@
+package relation
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDictRoundTrip(t *testing.T) {
+	d := NewDict()
+	a := d.Encode("alice")
+	b := d.Encode("bob")
+	if a == b {
+		t.Fatal("distinct strings share a code")
+	}
+	if again := d.Encode("alice"); again != a {
+		t.Fatal("re-encoding changed the code")
+	}
+	if s, ok := d.Decode(a); !ok || s != "alice" {
+		t.Fatalf("Decode = %q,%v", s, ok)
+	}
+	if _, ok := d.Decode(99); ok {
+		t.Fatal("unknown code decoded")
+	}
+	if c, ok := d.Code("bob"); !ok || c != b {
+		t.Fatal("Code lookup failed")
+	}
+	if _, ok := d.Code("carol"); ok {
+		t.Fatal("Code invented an entry")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	if d.MustDecode(b) != "bob" {
+		t.Fatal("MustDecode wrong")
+	}
+	tup := d.EncodeTuple([]string{"alice", "carol"})
+	if tup[0] != a || d.Len() != 3 {
+		t.Fatalf("EncodeTuple = %v (len %d)", tup, d.Len())
+	}
+	back, err := d.DecodeTuple(tup)
+	if err != nil || !reflect.DeepEqual(back, []string{"alice", "carol"}) {
+		t.Fatalf("DecodeTuple = %v, %v", back, err)
+	}
+	if _, err := d.DecodeTuple([]int64{42}); err == nil {
+		t.Fatal("DecodeTuple accepted unknown code")
+	}
+}
+
+func TestMustDecodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDecode did not panic")
+		}
+	}()
+	NewDict().MustDecode(0)
+}
+
+func TestLoadRelationWhitespace(t *testing.T) {
+	input := "# header\n1 2\n3 4\n1 2\n"
+	r, err := LoadRelation("E", strings.NewReader(input), LoadOptions{Comment: "#"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int64{{1, 2}, {3, 4}}
+	if !reflect.DeepEqual(r.Tuples(), want) {
+		t.Fatalf("tuples = %v", r.Tuples())
+	}
+}
+
+func TestLoadRelationCSVWithDict(t *testing.T) {
+	input := "alice,db\nbob,os\nalice,db\n"
+	d := NewDict()
+	r, err := LoadRelation("teaches", strings.NewReader(input), LoadOptions{Comma: ',', Dict: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 2 || r.Arity() != 2 {
+		t.Fatalf("len=%d arity=%d", r.Len(), r.Arity())
+	}
+	if d.Len() != 4 {
+		t.Fatalf("dict len = %d", d.Len())
+	}
+	row, err := d.DecodeTuple(r.Tuple(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if row[0] != "alice" || row[1] != "db" {
+		t.Fatalf("decoded = %v", row)
+	}
+}
+
+func TestLoadRelationErrors(t *testing.T) {
+	if _, err := LoadRelation("R", strings.NewReader("1 2\n3\n"), LoadOptions{}); err == nil {
+		t.Error("ragged rows accepted")
+	}
+	if _, err := LoadRelation("R", strings.NewReader("a b\n"), LoadOptions{}); err == nil {
+		t.Error("non-numeric fields accepted without Dict")
+	}
+	if _, err := LoadRelation("R", strings.NewReader("1 2 3\n"), LoadOptions{Arity: 2}); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := LoadRelation("R", strings.NewReader(""), LoadOptions{}); err == nil {
+		t.Error("empty input without arity accepted")
+	}
+	r, err := LoadRelation("R", strings.NewReader("# only comments\n"), LoadOptions{Comment: "#", Arity: 2})
+	if err != nil || r.Len() != 0 {
+		t.Errorf("comment-only input: %v, len %d", err, r.Len())
+	}
+}

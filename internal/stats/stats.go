@@ -1,0 +1,87 @@
+// Package stats provides lightweight instrumentation shared by the join
+// engines: memory-access counters (used to reproduce the paper's memory
+// traffic analysis), cache hit/miss statistics, and skew metrics over
+// relation columns.
+//
+// Counters are plain int64 fields. All engines in this repository are
+// single-threaded, matching the paper's single-core experimental protocol,
+// so no atomics are needed; a Counters value must not be shared across
+// goroutines.
+package stats
+
+import "fmt"
+
+// Counters accumulates the abstract memory accesses performed by an engine.
+// One "access" is one probe of an index structure: reading a trie cell,
+// one step of a binary search, one hash-table probe, or one tuple-cell
+// read/write in a materialized intermediate. This mirrors the event the
+// paper counts when it reports, e.g., 45·10^9 accesses for LFTJ on a
+// 5-cycle count (§1).
+type Counters struct {
+	// TrieAccesses counts reads of trie cells, including every comparison
+	// made by Seek's binary search.
+	TrieAccesses int64
+	// HashAccesses counts hash-map probes and insertions (caches in CLFTJ,
+	// adhesion maps in YTD, hash tables in the pairwise engine).
+	HashAccesses int64
+	// TupleAccesses counts cell reads/writes on materialized intermediate
+	// tuples (YTD bags, pairwise intermediates, factorized entries).
+	TupleAccesses int64
+
+	// CacheHits and CacheMisses count CLFTJ cache lookups that found,
+	// respectively did not find, a stored intermediate result.
+	CacheHits   int64
+	CacheMisses int64
+	// CacheInserts counts stored intermediate results; CacheEvictions
+	// counts entries dropped to respect a capacity bound.
+	CacheInserts   int64
+	CacheEvictions int64
+}
+
+// Total returns the total number of memory accesses of all kinds.
+func (c *Counters) Total() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.TrieAccesses + c.HashAccesses + c.TupleAccesses
+}
+
+// Reset zeroes all counters.
+func (c *Counters) Reset() {
+	if c == nil {
+		return
+	}
+	*c = Counters{}
+}
+
+// Add accumulates o into c.
+func (c *Counters) Add(o *Counters) {
+	if c == nil || o == nil {
+		return
+	}
+	c.TrieAccesses += o.TrieAccesses
+	c.HashAccesses += o.HashAccesses
+	c.TupleAccesses += o.TupleAccesses
+	c.CacheHits += o.CacheHits
+	c.CacheMisses += o.CacheMisses
+	c.CacheInserts += o.CacheInserts
+	c.CacheEvictions += o.CacheEvictions
+}
+
+// HitRate returns the cache hit rate in [0,1], or 0 if no lookups happened.
+func (c *Counters) HitRate() float64 {
+	if c == nil {
+		return 0
+	}
+	n := c.CacheHits + c.CacheMisses
+	if n == 0 {
+		return 0
+	}
+	return float64(c.CacheHits) / float64(n)
+}
+
+// String renders the counters compactly for logs and experiment tables.
+func (c *Counters) String() string {
+	return fmt.Sprintf("trie=%d hash=%d tuple=%d total=%d hits=%d misses=%d",
+		c.TrieAccesses, c.HashAccesses, c.TupleAccesses, c.Total(), c.CacheHits, c.CacheMisses)
+}

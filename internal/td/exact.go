@@ -1,0 +1,100 @@
+package td
+
+import (
+	"math/bits"
+
+	"repro/internal/graph"
+)
+
+// ExactTreewidth computes the treewidth of g exactly via the classic
+// Held–Karp-style dynamic program over elimination orders (Bodlaender et
+// al.): tw(S) — the best width achievable eliminating exactly the vertex
+// set S first — satisfies
+//
+//	tw(S) = min over v∈S of max(tw(S\{v}), |N(v) in g[ (V\S) ∪ {v} ] ... |)
+//
+// where the degree term is v's neighborhood size after S\{v} was
+// eliminated, i.e. the number of vertices outside S reachable from v
+// through S\{v}. Exponential in |V|; intended for graphs of up to ~16
+// nodes (query Gaifman graphs), where it serves as the ground truth the
+// heuristics (min-fill, separator enumeration) are tested against.
+func ExactTreewidth(g *graph.Undirected) int {
+	n := g.N()
+	if n == 0 {
+		return -1 // convention: empty graph has width -1 (no bags needed)
+	}
+	if n > 24 {
+		panic("td: ExactTreewidth is exponential; refuse graphs above 24 nodes")
+	}
+	adj := make([]uint32, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Neighbors(v) {
+			adj[v] |= 1 << uint(w)
+		}
+	}
+	full := uint32(1)<<uint(n) - 1
+
+	// reach(v, S): vertices outside S∪{v} adjacent to v or connected to
+	// v through vertices of S (the fill-in neighborhood of v when S was
+	// eliminated before it).
+	reach := func(v int, s uint32) int {
+		visited := uint32(1 << uint(v))
+		frontier := adj[v]
+		result := uint32(0)
+		for frontier != 0 {
+			b := frontier & -frontier
+			frontier &^= b
+			if visited&b != 0 {
+				continue
+			}
+			visited |= b
+			w := bits.TrailingZeros32(b)
+			if s&b != 0 {
+				frontier |= adj[w] &^ visited
+			} else {
+				result |= b
+			}
+		}
+		return bits.OnesCount32(result)
+	}
+
+	const inf = 1 << 30
+	dp := make([]int32, full+1)
+	for i := range dp {
+		dp[i] = inf
+	}
+	dp[0] = -1 // eliminating nothing costs width -1 (max with degrees later)
+	for s := uint32(1); s <= full; s++ {
+		rest := s
+		best := int32(inf)
+		for rest != 0 {
+			b := rest & -rest
+			rest &^= b
+			v := bits.TrailingZeros32(b)
+			prev := dp[s&^b]
+			if prev >= best {
+				continue
+			}
+			d := int32(reach(v, s&^b))
+			w := prev
+			if d > w {
+				w = d
+			}
+			if w < best {
+				best = w
+			}
+		}
+		dp[s] = best
+	}
+	return int(dp[full])
+}
+
+// ExactTreewidthOfQuery computes the exact treewidth of q's Gaifman
+// graph.
+func ExactTreewidthOfQuery(q interface{ GaifmanEdges() [][2]int }, numVars int) int {
+	g := graph.New(numVars)
+	for _, e := range q.GaifmanEdges() {
+		g.AddEdge(e[0], e[1])
+	}
+	return ExactTreewidth(g)
+}

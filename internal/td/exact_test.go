@@ -1,0 +1,99 @@
+package td
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/graph"
+	"repro/internal/queries"
+)
+
+func TestExactTreewidthKnownValues(t *testing.T) {
+	cases := []struct {
+		name string
+		g    *graph.Undirected
+		want int
+	}{
+		{"single node", graph.New(1), 0},
+		{"edge", graph.FromEdges(2, [][2]int{{0, 1}}), 1},
+		{"path5", pathGraph(5), 1},
+		{"cycle5", cycleGraph(5), 2},
+		{"cycle8", cycleGraph(8), 2},
+		{"K4", cliqueGraph(4), 3},
+		{"K6", cliqueGraph(6), 5},
+		{"tree", graph.FromEdges(7, [][2]int{{0, 1}, {0, 2}, {1, 3}, {1, 4}, {2, 5}, {2, 6}}), 1},
+		{"grid2x3", graph.FromEdges(6, [][2]int{{0, 1}, {1, 2}, {3, 4}, {4, 5}, {0, 3}, {1, 4}, {2, 5}}), 2},
+	}
+	for _, tc := range cases {
+		if got := ExactTreewidth(tc.g); got != tc.want {
+			t.Errorf("%s: treewidth = %d, want %d", tc.name, got, tc.want)
+		}
+	}
+}
+
+func pathGraph(n int) *graph.Undirected {
+	g := graph.New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func cycleGraph(n int) *graph.Undirected {
+	g := pathGraph(n)
+	g.AddEdge(n-1, 0)
+	return g
+}
+
+func cliqueGraph(n int) *graph.Undirected {
+	g := graph.New(n)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.AddEdge(i, j)
+		}
+	}
+	return g
+}
+
+// TestMinFillNeverBeatsExact: min-fill is a heuristic upper bound; on
+// random small graphs its width must be >= the exact treewidth, and the
+// exact value must be achieved by SOME decomposition method on simple
+// topologies.
+func TestMinFillNeverBeatsExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 25; trial++ {
+		q := queries.Random(4+rng.Intn(4), 0.3+rng.Float64()*0.4, rng.Int63())
+		g := Gaifman(q)
+		exact := ExactTreewidth(g)
+		mf := MinFillDecompose(q).Width()
+		if mf < exact {
+			t.Fatalf("trial %d: min-fill width %d below exact treewidth %d (impossible)", trial, mf, exact)
+		}
+		// Min-fill is known to be exact on graphs of treewidth <= 2.
+		if exact <= 2 && mf != exact {
+			t.Errorf("trial %d: min-fill width %d, exact %d on a width-%d graph",
+				trial, mf, exact, exact)
+		}
+	}
+}
+
+func TestExactTreewidthOfQuery(t *testing.T) {
+	if got := ExactTreewidthOfQuery(queries.Cycle(6), 6); got != 2 {
+		t.Errorf("6-cycle treewidth = %d, want 2", got)
+	}
+	if got := ExactTreewidthOfQuery(queries.Clique(5), 5); got != 4 {
+		t.Errorf("5-clique treewidth = %d, want 4", got)
+	}
+	if got := ExactTreewidthOfQuery(queries.Lollipop(3, 2), 5); got != 2 {
+		t.Errorf("lollipop treewidth = %d, want 2", got)
+	}
+}
+
+func TestExactTreewidthRefusesLargeGraphs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for oversized graph")
+		}
+	}()
+	ExactTreewidth(graph.New(30))
+}

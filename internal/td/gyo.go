@@ -1,0 +1,130 @@
+package td
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+)
+
+// AcyclicJoinTree runs the classical GYO (Graham / Yu–Özsoyoğlu) ear
+// reduction on the query's hypergraph (one hyperedge per atom). If the
+// query is α-acyclic it returns the atom join tree — an ordered TD with
+// one bag per atom, the structure Yannakakis's algorithm [25] was
+// originally defined on — and true; otherwise nil and false.
+//
+// GYO repeatedly (1) deletes vertices occurring in exactly one hyperedge
+// and (2) deletes hyperedges whose remainder is contained in another
+// hyperedge, attaching the removed ear to its container. The query is
+// acyclic iff the reduction ends with at most one hyperedge.
+func AcyclicJoinTree(q *cq.Query) (*TD, bool) {
+	idx := q.VarIndex()
+	numVars := len(idx)
+	m := len(q.Atoms)
+	if m == 0 {
+		return nil, false
+	}
+	// Original and reduced vertex sets per hyperedge.
+	orig := make([][]int, m)
+	reduced := make([]map[int]bool, m)
+	for i, atom := range q.Atoms {
+		set := make(map[int]bool)
+		for _, name := range atom.Vars() {
+			set[idx[name]] = true
+		}
+		vars := make([]int, 0, len(set))
+		for x := range set {
+			vars = append(vars, x)
+		}
+		sort.Ints(vars)
+		orig[i] = vars
+		reduced[i] = set
+	}
+	active := make([]bool, m)
+	parent := make([]int, m)
+	for i := range active {
+		active[i] = true
+		parent[i] = -1
+	}
+
+	occurrences := func(x int) (count, holder int) {
+		for e := 0; e < m; e++ {
+			if active[e] && reduced[e][x] {
+				count++
+				holder = e
+			}
+		}
+		return count, holder
+	}
+
+	changed := true
+	for changed {
+		changed = false
+		// Step 1: drop vertices unique to one hyperedge.
+		for x := 0; x < numVars; x++ {
+			if count, holder := occurrences(x); count == 1 && reduced[holder][x] {
+				delete(reduced[holder], x)
+				changed = true
+			}
+		}
+		// Step 2: absorb hyperedges contained in another (ears).
+		for e := 0; e < m && !changed; e++ {
+			if !active[e] {
+				continue
+			}
+			for f := 0; f < m; f++ {
+				if e == f || !active[f] {
+					continue
+				}
+				if subsetOf(reduced[e], reduced[f]) {
+					active[e] = false
+					parent[e] = f
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	remaining := -1
+	for e := 0; e < m; e++ {
+		if active[e] {
+			if remaining != -1 {
+				return nil, false // two irreducible hyperedges: cyclic
+			}
+			remaining = e
+		}
+	}
+	if remaining == -1 {
+		return nil, false
+	}
+	// Compress parent chains onto the tree (parents may themselves have
+	// been absorbed later; the recorded parent is always a hyperedge that
+	// was active at absorption time, so the pointers form a forest rooted
+	// at the remaining edge).
+	tree, err := New(orig, parent)
+	if err != nil {
+		return nil, false
+	}
+	if err := tree.Validate(q); err != nil {
+		return nil, false
+	}
+	return tree, true
+}
+
+// IsAcyclic reports whether the query is α-acyclic.
+func IsAcyclic(q *cq.Query) bool {
+	_, ok := AcyclicJoinTree(q)
+	return ok
+}
+
+func subsetOf(a, b map[int]bool) bool {
+	if len(a) > len(b) {
+		return false
+	}
+	for x := range a {
+		if !b[x] {
+			return false
+		}
+	}
+	return true
+}

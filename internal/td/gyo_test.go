@@ -1,0 +1,87 @@
+package td_test
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/dataset"
+	"repro/internal/naive"
+	"repro/internal/queries"
+	"repro/internal/td"
+	"repro/internal/yannakakis"
+)
+
+func TestAcyclicityClassification(t *testing.T) {
+	cases := []struct {
+		name    string
+		q       *cq.Query
+		acyclic bool
+	}{
+		{"2-path", queries.Path(2), true},
+		{"5-path", queries.Path(5), true},
+		{"3-cycle", queries.Cycle(3), false},
+		{"4-cycle", queries.Cycle(4), false},
+		{"6-cycle", queries.Cycle(6), false},
+		{"star", cq.New(cq.NewAtom("E", "c", "a"), cq.NewAtom("E", "c", "b"), cq.NewAtom("E", "c", "d")), true},
+		// A triangle covered by a ternary atom is acyclic (the hyperedge
+		// absorbs the binary ones).
+		{"covered triangle", cq.New(
+			cq.NewAtom("T", "a", "b", "c"),
+			cq.NewAtom("E", "a", "b"),
+			cq.NewAtom("E", "b", "c"),
+		), true},
+		{"lollipop", queries.Lollipop(3, 2), false},
+	}
+	for _, tc := range cases {
+		if got := td.IsAcyclic(tc.q); got != tc.acyclic {
+			t.Errorf("%s: IsAcyclic = %v, want %v", tc.name, got, tc.acyclic)
+		}
+	}
+}
+
+func TestAcyclicJoinTreeIsValidTD(t *testing.T) {
+	for _, q := range []*cq.Query{
+		queries.Path(3), queries.Path(6),
+		cq.New(cq.NewAtom("E", "c", "a"), cq.NewAtom("E", "c", "b"), cq.NewAtom("E", "b", "d")),
+	} {
+		tree, ok := td.AcyclicJoinTree(q)
+		if !ok {
+			t.Fatalf("%s misclassified as cyclic", q)
+		}
+		if err := tree.Validate(q); err != nil {
+			t.Fatalf("%s: join tree invalid: %v\n%s", q, err, tree)
+		}
+		if tree.N() != len(q.Atoms) {
+			t.Errorf("%s: join tree has %d bags, want one per atom (%d)", q, tree.N(), len(q.Atoms))
+		}
+		order := tree.CompatibleOrder(len(q.Vars()))
+		if !tree.StronglyCompatible(order) {
+			t.Errorf("%s: join tree order not strongly compatible", q)
+		}
+	}
+}
+
+// The atom join tree must drive YTD to correct results (Yannakakis's
+// original setting: one bag per atom, no worst-case-optimal sub-joins
+// needed).
+func TestAcyclicJoinTreeDrivesYannakakis(t *testing.T) {
+	g := dataset.ErdosRenyi(22, 0.18, 91)
+	db := g.DB(false)
+	for _, q := range []*cq.Query{queries.Path(4), queries.Path(5)} {
+		tree, ok := td.AcyclicJoinTree(q)
+		if !ok {
+			t.Fatal("path misclassified")
+		}
+		want, err := naive.Count(q, db)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := yannakakis.Count(q, db, tree, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("%s: YTD over join tree = %d, want %d", q, got, want)
+		}
+	}
+}

@@ -1,0 +1,132 @@
+package td
+
+import (
+	"sort"
+
+	"repro/internal/cq"
+)
+
+// MinFillDecompose builds an ordered tree decomposition via the classic
+// min-fill elimination heuristic: repeatedly eliminate the variable
+// whose neighborhood needs the fewest fill-in edges to become a clique,
+// each elimination contributing the bag {v} ∪ N(v). It complements the
+// separator-driven GenericDecompose of §4 — min-fill targets small bags
+// (treewidth), the paper's enumeration targets small adhesions; the
+// cost model arbitrates (Fig. 11 shows why both views matter).
+func MinFillDecompose(q *cq.Query) *TD {
+	g := Gaifman(q)
+	n := g.N()
+	if n == 0 {
+		return MustNew([][]int{{}}, []int{-1})
+	}
+	// Mutable adjacency over variable indices.
+	adj := make([]map[int]bool, n)
+	for v := 0; v < n; v++ {
+		adj[v] = make(map[int]bool)
+		for _, w := range g.Neighbors(v) {
+			adj[v][w] = true
+		}
+	}
+	alive := make([]bool, n)
+	for i := range alive {
+		alive[i] = true
+	}
+
+	fillIn := func(v int) int {
+		nbrs := make([]int, 0, len(adj[v]))
+		for w := range adj[v] {
+			nbrs = append(nbrs, w)
+		}
+		fill := 0
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				if !adj[nbrs[i]][nbrs[j]] {
+					fill++
+				}
+			}
+		}
+		return fill
+	}
+
+	elimPos := make([]int, n)
+	bags := make([][]int, n)
+	for step := 0; step < n; step++ {
+		// Pick the alive vertex with minimum fill-in; break ties by
+		// degree then index for determinism.
+		best, bestFill, bestDeg := -1, -1, -1
+		for v := 0; v < n; v++ {
+			if !alive[v] {
+				continue
+			}
+			f := fillIn(v)
+			d := len(adj[v])
+			if best == -1 || f < bestFill || (f == bestFill && d < bestDeg) {
+				best, bestFill, bestDeg = v, f, d
+			}
+		}
+		v := best
+		elimPos[v] = step
+		bag := []int{v}
+		for w := range adj[v] {
+			bag = append(bag, w)
+		}
+		sort.Ints(bag)
+		bags[step] = bag
+		// Make N(v) a clique, then remove v.
+		nbrs := make([]int, 0, len(adj[v]))
+		for w := range adj[v] {
+			nbrs = append(nbrs, w)
+		}
+		for i := 0; i < len(nbrs); i++ {
+			for j := i + 1; j < len(nbrs); j++ {
+				adj[nbrs[i]][nbrs[j]] = true
+				adj[nbrs[j]][nbrs[i]] = true
+			}
+		}
+		for _, w := range nbrs {
+			delete(adj[w], v)
+		}
+		alive[v] = false
+	}
+
+	// Clique-tree linkage: bag(step) attaches to the bag of the
+	// earliest-eliminated member of its neighborhood (all of which are
+	// eliminated later). The final bag is the root.
+	parent := make([]int, n)
+	for step := 0; step < n; step++ {
+		bag := bags[step]
+		parentStep := -1
+		for _, w := range bag {
+			if elimPos[w] == step {
+				continue // v itself
+			}
+			if parentStep == -1 || elimPos[w] < parentStep {
+				parentStep = elimPos[w]
+			}
+		}
+		parent[step] = parentStep
+	}
+	// The bag order "by elimination step" has children before parents;
+	// reverse so the root (last elimination) comes first, matching the
+	// rooted-ordered-TD convention.
+	rev := func(step int) int { return n - 1 - step }
+	rbags := make([][]int, n)
+	rparent := make([]int, n)
+	for step := 0; step < n; step++ {
+		rbags[rev(step)] = bags[step]
+		if parent[step] == -1 {
+			rparent[rev(step)] = -1
+		} else {
+			rparent[rev(step)] = rev(parent[step])
+		}
+	}
+	// A disconnected Gaifman graph yields one parentless bag per
+	// component; attach the extras under the first root (bag 0).
+	for i := 1; i < n; i++ {
+		if rparent[i] == -1 {
+			rparent[i] = 0
+		}
+	}
+	t := MustNew(rbags, rparent)
+	return t.EliminateRedundancy()
+}

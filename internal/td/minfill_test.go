@@ -1,0 +1,95 @@
+package td
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/queries"
+)
+
+func TestMinFillProducesValidTDs(t *testing.T) {
+	cases := []*cq.Query{
+		queries.Path(4),
+		queries.Path(7),
+		queries.Cycle(4),
+		queries.Cycle(6),
+		queries.Lollipop(3, 2),
+		queries.Clique(4),
+		queries.Random(6, 0.5, 19),
+		fig3Query(),
+		queries.IMDBCycle(3),
+	}
+	for _, q := range cases {
+		tree := MinFillDecompose(q)
+		if err := tree.Validate(q); err != nil {
+			t.Errorf("MinFillDecompose(%s) invalid: %v\n%s", q, err, tree)
+		}
+		order := tree.CompatibleOrder(len(q.Vars()))
+		if !tree.StronglyCompatible(order) {
+			t.Errorf("min-fill TD's derived order not strongly compatible for %s", q)
+		}
+	}
+}
+
+func TestMinFillOptimalWidthOnKnownGraphs(t *testing.T) {
+	// Min-fill is exact on chordal-ish small cases: paths have width 1,
+	// cycles width 2, k-cliques width k-1.
+	if w := MinFillDecompose(queries.Path(6)).Width(); w != 1 {
+		t.Errorf("path width = %d, want 1", w)
+	}
+	if w := MinFillDecompose(queries.Cycle(6)).Width(); w != 2 {
+		t.Errorf("cycle width = %d, want 2", w)
+	}
+	if w := MinFillDecompose(queries.Clique(5)).Width(); w != 4 {
+		t.Errorf("clique width = %d, want 4", w)
+	}
+	if w := MinFillDecompose(queries.Lollipop(3, 2)).Width(); w != 2 {
+		t.Errorf("lollipop width = %d, want 2", w)
+	}
+}
+
+func TestMinFillDeterministic(t *testing.T) {
+	q := queries.Random(6, 0.5, 23)
+	a := MinFillDecompose(q).Canonical()
+	b := MinFillDecompose(q).Canonical()
+	if a != b {
+		t.Fatal("min-fill not deterministic")
+	}
+}
+
+func TestMinFillDisconnectedQuery(t *testing.T) {
+	// Two independent edges: the Gaifman graph is disconnected.
+	q := cq.New(cq.NewAtom("E", "a", "b"), cq.NewAtom("E", "c", "d"))
+	tree := MinFillDecompose(q)
+	if err := tree.Validate(q); err != nil {
+		t.Fatalf("disconnected min-fill TD invalid: %v\n%s", err, tree)
+	}
+}
+
+func TestMinFillRandomValidity(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 30; trial++ {
+		q := queries.Random(4+rng.Intn(4), 0.3+rng.Float64()*0.4, rng.Int63())
+		tree := MinFillDecompose(q)
+		if err := tree.Validate(q); err != nil {
+			t.Fatalf("trial %d (%s): %v\n%s", trial, q, err, tree)
+		}
+	}
+}
+
+func TestEnumerateIncludesMinFill(t *testing.T) {
+	// For paths the min-fill TD is the chain of edges, which the
+	// separator enumeration also finds — Enumerate must stay dedup'd and
+	// valid with min-fill in the mix.
+	q := queries.Path(5)
+	tds := Enumerate(q, Options{})
+	seen := make(map[string]bool)
+	for _, tree := range tds {
+		key := tree.Canonical()
+		if seen[key] {
+			t.Fatalf("duplicate after min-fill inclusion:\n%s", tree)
+		}
+		seen[key] = true
+	}
+}
