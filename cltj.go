@@ -7,7 +7,8 @@
 //
 //	db := cltj.NewDB(cltj.MustRelation("E", 2, edges))
 //	q, err := cltj.ParseQuery("E(x,y), E(y,z), E(x,z)")  // or build atoms
-//	n, err := cltj.Count(q, db, cltj.Options{})          // CLFTJ, auto TD
+//	n, err := cltj.Count(q, db, cltj.Options{})          // CLFTJ, auto TD, all cores
+//	n, err = cltj.Count(q, db, cltj.Options{Workers: 1}) // force sequential
 //	n, err = cltj.CountLFTJ(q, db, nil)                  // vanilla LFTJ
 //	n, err = cltj.CountYTD(q, db, nil)                   // Yannakakis+TD
 //
@@ -69,11 +70,22 @@ func Aggregate[T any](p *Plan, policy Policy, sr Semiring[T], w VarWeight[T]) T 
 	return core.Aggregate(p, policy, sr, w)
 }
 
-// CountSemiring is (ℕ, +, ×); SumProductSemiring is (ℝ, +, ×);
-// TropicalSemiring is (ℝ∪{∞}, min, +). UnitWeight weighs everything One.
-func CountSemiring() Semiring[int64]        { return core.CountSemiring() }
+// AggregateParallel is Aggregate sharded over policy.Workers goroutines
+// (0: one per core, 1: the sequential path). Results are bit-identical
+// to Aggregate whenever ⊕ is exactly associative (counting, min/max
+// semirings); floating-point sums may differ by reassociation error.
+func AggregateParallel[T any](p *Plan, policy Policy, sr Semiring[T], w VarWeight[T]) T {
+	return core.AggregateParallel(p, policy, sr, w)
+}
+
+// CountSemiring returns the counting semiring (ℕ, +, ×).
+func CountSemiring() Semiring[int64] { return core.CountSemiring() }
+
+// SumProductSemiring returns the sum-product semiring (ℝ, +, ×).
 func SumProductSemiring() Semiring[float64] { return core.SumProductSemiring() }
-func TropicalSemiring() Semiring[float64]   { return core.TropicalSemiring() }
+
+// TropicalSemiring returns the min-plus semiring (ℝ∪{∞}, min, +).
+func TropicalSemiring() Semiring[float64] { return core.TropicalSemiring() }
 
 // UnitWeight returns the all-One weight function for sr.
 func UnitWeight[T any](sr Semiring[T]) VarWeight[T] { return core.UnitWeight(sr) }
@@ -95,7 +107,7 @@ func ParseQuery(input string) (*Query, error) { return cq.Parse(input) }
 // NewAtom builds an atom whose arguments are all variables.
 func NewAtom(rel string, vars ...string) Atom { return cq.NewAtom(rel, vars...) }
 
-// V returns a variable term; C returns a constant term.
+// V returns a variable term.
 func V(name string) Term { return cq.V(name) }
 
 // C returns a constant term.
@@ -117,7 +129,9 @@ func NewDB(rels ...*Relation) *DB { return relation.NewDB(rels...) }
 // Options configures the automatic CLFTJ entry points.
 type Options struct {
 	// Policy is the cache policy (zero value: unbounded caches that
-	// store every intermediate result).
+	// store every intermediate result). In parallel runs caches are
+	// per worker, so Policy.Capacity bounds each worker's memory: K
+	// workers may retain up to K*Capacity entries in total.
 	Policy Policy
 	// TD forces a specific tree decomposition; nil selects one
 	// automatically per the paper's §4 heuristics.
@@ -126,7 +140,28 @@ type Options struct {
 	// the TD); nil derives one from the TD.
 	Order []string
 	// Counters receives memory-access accounting (may be nil).
+	// Parallel runs merge per-worker accounting exactly, but the
+	// totals depend on the worker count (the root-domain prescan and
+	// per-worker cache misses add accesses a sequential run avoids) —
+	// set Workers to 1 to reproduce the paper's sequential
+	// memory-traffic numbers on any machine.
 	Counters *Counters
+	// Workers shards the execution over this many goroutines by
+	// partitioning the first variable's domain: 0 uses one worker per
+	// core, 1 forces the sequential path, K > 1 runs K workers with
+	// private caches and counters. Counts are bit-identical to the
+	// sequential engine at any setting. Overrides Policy.Workers when
+	// non-zero.
+	Workers int
+}
+
+// policy resolves the effective cache/execution policy of the options.
+func (o Options) policy() Policy {
+	pol := o.Policy
+	if o.Workers != 0 {
+		pol.Workers = o.Workers
+	}
+	return pol
 }
 
 // NewPlan compiles a CLFTJ plan per the options (automatic TD selection
@@ -145,18 +180,22 @@ func NewPlan(q *Query, db *DB, opts Options) (*Plan, error) {
 	return core.NewPlan(q, db, opts.TD, order, opts.Counters)
 }
 
-// Count evaluates |q(D)| with CLFTJ.
+// Count evaluates |q(D)| with CLFTJ. With opts.Workers unset (or 0) the
+// join is sharded over one worker per core; the count is bit-identical
+// to a sequential run regardless of the worker count.
 func Count(q *Query, db *DB, opts Options) (int64, error) {
 	plan, err := NewPlan(q, db, opts)
 	if err != nil {
 		return 0, err
 	}
-	return plan.Count(opts.Policy).Count, nil
+	return plan.CountParallel(opts.policy()).Count, nil
 }
 
 // Eval enumerates q(D) with CLFTJ; emit receives assignments aligned
 // with the plan's variable order (reused slice; copy to retain) and may
-// return false to stop. It returns the order used.
+// return false to stop. It returns the order used. Eval always streams
+// sequentially; use Plan.EvalParallel for a sharded evaluation that
+// buffers and merges per-worker results.
 func Eval(q *Query, db *DB, opts Options, emit func(mu []int64) bool) ([]string, error) {
 	plan, err := NewPlan(q, db, opts)
 	if err != nil {
@@ -174,6 +213,17 @@ func CountLFTJ(q *Query, db *DB, counters *Counters) (int64, error) {
 		return 0, err
 	}
 	return leapfrog.Count(inst), nil
+}
+
+// CountLFTJParallel evaluates |q(D)| with vanilla LFTJ sharded over the
+// given number of worker goroutines (0: one per core, 1: sequential).
+// counters may be nil; per-worker accounting is merged into it exactly.
+func CountLFTJParallel(q *Query, db *DB, workers int, counters *Counters) (int64, error) {
+	inst, err := leapfrog.Build(q, db, q.Vars(), counters)
+	if err != nil {
+		return 0, err
+	}
+	return leapfrog.ParallelCount(inst, workers), nil
 }
 
 // CountYTD evaluates |q(D)| with Yannakakis over an automatically

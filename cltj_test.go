@@ -171,3 +171,35 @@ func TestFacadeConstructors(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestFacadeWorkers checks the parallel knob end to end: every worker
+// setting must produce the sequential count, for both CLFTJ and LFTJ.
+func TestFacadeWorkers(t *testing.T) {
+	db := facadeDB()
+	for _, q := range []*Query{
+		queries.Cycle(5),
+		queries.Clique(4),
+	} {
+		want, err := Count(q, db, Options{Workers: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 2, 4} {
+			got, err := Count(q, db, Options{Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got != want {
+				t.Errorf("%s: Count(Workers: %d) = %d, want %d", q, workers, got, want)
+			}
+			var c Counters
+			lftj, err := CountLFTJParallel(q, db, workers, &c)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lftj != want {
+				t.Errorf("%s: CountLFTJParallel(%d) = %d, want %d", q, workers, lftj, want)
+			}
+		}
+	}
+}

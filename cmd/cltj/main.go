@@ -5,7 +5,7 @@
 // Usage:
 //
 //	cltj -query 5-cycle -data graph.txt [-algo clftj|lftj|ytd|pairwise]
-//	     [-eval] [-cache N] [-support N] [-symmetric] [-show-td]
+//	     [-eval] [-cache N] [-support N] [-workers K] [-symmetric] [-show-td]
 //
 // The query flag accepts k-path, k-cycle, k-clique, {c,t}-lollipop (as
 // "lollipop-c-t") and "rand-N-P-SEED". Without -data, a built-in skewed
@@ -51,6 +51,7 @@ func main() {
 	evalFlag := flag.Bool("eval", false, "enumerate tuples instead of counting (prints the first few)")
 	cacheFlag := flag.Int("cache", 0, "CLFTJ cache capacity (0 = unbounded)")
 	supportFlag := flag.Int("support", 0, "CLFTJ support threshold")
+	workersFlag := flag.Int("workers", 1, "worker goroutines for clftj and for lftj counting (0 = one per core, 1 = sequential); other algorithms ignore it; -eval with workers > 1 materializes the full result before printing")
 	symFlag := flag.Bool("symmetric", false, "treat edges as undirected (add both directions)")
 	showTD := flag.Bool("show-td", false, "print the selected tree decomposition")
 	flag.Parse()
@@ -97,7 +98,7 @@ func main() {
 	}
 
 	var c stats.Counters
-	policy := core.Policy{Capacity: *cacheFlag, SupportThreshold: *supportFlag}
+	policy := core.Policy{Capacity: *cacheFlag, SupportThreshold: *supportFlag, Workers: *workersFlag}
 	start := time.Now()
 	var count int64
 	switch *algoFlag {
@@ -112,10 +113,10 @@ func main() {
 		start = time.Now()
 		if *evalFlag {
 			count = evalSome(plan.Order(), func(emit func([]int64) bool) {
-				plan.Eval(policy, emit)
+				plan.EvalParallel(policy, emit)
 			})
 		} else {
-			count = plan.Count(policy).Count
+			count = plan.CountParallel(policy).Count
 		}
 	case "lftj":
 		inst, err := leapfrog.Build(q, db, q.Vars(), &c)
@@ -128,7 +129,7 @@ func main() {
 				leapfrog.Eval(inst, emit)
 			})
 		} else {
-			count = leapfrog.Count(inst)
+			count = leapfrog.ParallelCount(inst, *workersFlag)
 		}
 	case "ytd":
 		tree, _ := td.Select(q, td.Options{}, td.DefaultCostConfig(len(q.Vars())))

@@ -1,7 +1,6 @@
 // Command figures regenerates every experiment table of the paper's
 // evaluation (§5) over the synthetic workloads and prints them to stdout
-// (or a file). See DESIGN.md for the experiment index and EXPERIMENTS.md
-// for recorded paper-vs-measured comparisons.
+// (or a file). See DESIGN.md for the experiment index.
 //
 // Usage:
 //

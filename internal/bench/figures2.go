@@ -218,6 +218,7 @@ func Experiments() []Experiment {
 		{"E8 (Fig. 11/12)", Figure11},
 		{"E9 (Fig. 13/14)", Figure13},
 		{"E10 (ablation)", Ablation},
+		{"E11 (parallel)", ParallelSpeedup},
 	}
 }
 

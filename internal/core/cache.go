@@ -40,6 +40,14 @@ type Policy struct {
 	Eviction EvictionMode
 	// Disabled turns all caching off; CLFTJ then coincides with LFTJ.
 	Disabled bool
+	// Workers sets the parallelism of the Parallel* entry points
+	// (CountParallel, EvalParallel, AggregateParallel): 0 uses one worker
+	// per core (runtime.GOMAXPROCS), 1 forces the sequential code path,
+	// K > 1 shards the root variable's domain over K goroutines, each
+	// with private caches and counters (merged after the join). The plain
+	// Count/Eval/Aggregate entry points ignore the field and always run
+	// sequentially.
+	Workers int
 }
 
 // cache is one adhesion cache (one per cacheable bag), generic over the

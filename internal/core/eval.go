@@ -3,6 +3,7 @@ package core
 import (
 	"repro/internal/factorized"
 	"repro/internal/leapfrog"
+	"repro/internal/stats"
 )
 
 // EvalResult reports a cached evaluation.
@@ -28,6 +29,7 @@ func (p *Plan) Eval(policy Policy, emit func(mu []int64) bool) EvalResult {
 	e := &evalExec{
 		plan:    p,
 		run:     leapfrog.NewRunner(p.inst),
+		ctrs:    p.counters,
 		sets:    make([]factorized.Set, p.numNodes),
 		collect: make([]bool, p.numNodes),
 		intent:  make([]bool, p.numNodes),
@@ -64,6 +66,7 @@ func (p *Plan) EvalFactorized(policy Policy) factorized.Set {
 	e := &evalExec{
 		plan:        p,
 		run:         leapfrog.NewRunner(p.inst),
+		ctrs:        p.counters,
 		sets:        make([]factorized.Set, p.numNodes),
 		collect:     make([]bool, p.numNodes),
 		intent:      make([]bool, p.numNodes),
@@ -81,7 +84,7 @@ func (p *Plan) EvalFactorized(policy Policy) factorized.Set {
 // EvalFactorized represents, invoking emit with assignments aligned with
 // Plan.Order (reused slice; copy to retain). Returning false stops.
 func (p *Plan) ExpandFactorized(s factorized.Set, emit func(mu []int64) bool) {
-	e := &evalExec{plan: p, mu: make([]int64, p.numVars), emit: emit}
+	e := &evalExec{plan: p, ctrs: p.counters, mu: make([]int64, p.numVars), emit: emit}
 	e.expandSet(p.root, s, func() bool { return emit(e.mu) })
 }
 
@@ -93,6 +96,7 @@ type skipFrame struct {
 type evalExec struct {
 	plan        *Plan
 	run         *leapfrog.Runner
+	ctrs        *stats.Counters // this execution's sink (worker-local in parallel runs)
 	mu          []int64
 	sets        []factorized.Set // per bag: the set built/reused in the current iteration
 	collect     []bool           // per bag: building its factorized set right now
@@ -180,7 +184,7 @@ func (e *evalExec) appendEntry(v int) {
 	}
 	vals := make([]int64, p.lastVar[v]-p.firstVar[v]+1)
 	copy(vals, e.mu[p.firstVar[v]:p.lastVar[v]+1])
-	if c := p.counters; c != nil {
+	if c := e.ctrs; c != nil {
 		c.TupleAccesses += int64(len(vals))
 	}
 	e.sets[v] = append(e.sets[v], &factorized.Entry{Vals: vals, Children: children})
@@ -204,7 +208,7 @@ func (e *evalExec) expandSet(v int, s factorized.Set, then func() bool) bool {
 	p := e.plan
 	for _, entry := range s {
 		copy(e.mu[p.firstVar[v]:], entry.Vals)
-		if c := p.counters; c != nil {
+		if c := e.ctrs; c != nil {
 			c.TupleAccesses += int64(len(entry.Vals))
 		}
 		if !e.expandChildren(v, entry, 0, then) {

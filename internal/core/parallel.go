@@ -1,0 +1,261 @@
+package core
+
+import (
+	"repro/internal/factorized"
+	"repro/internal/leapfrog"
+	"repro/internal/stats"
+)
+
+// This file parallelizes CLFTJ by sharding the root trie level. The
+// outermost loop of CachedTJCount iterates the matches of the first
+// variable, and distinct root values are independent: no cache key ever
+// spans two of them, because adhesion depths of every cacheable bag are
+// strictly smaller than the bag's first depth and depth 0 belongs to the
+// root bag, which is never cached. The engine therefore enumerates the
+// root domain once (a cheap k-way intersection scan), deals the values to
+// K workers round-robin, and gives every worker its own runner (private
+// trie cursors over the shared immutable tries), its own cache manager
+// and its own stats.Counters. Workers never share mutable state; worker
+// results and accounting are merged after the join, in worker order, so
+// runs are deterministic. See DESIGN.md, "Parallel execution", for the
+// shared-vs-per-worker cache tradeoff this design picks a side of.
+
+// shardSetup resolves the worker count and, when sharding is worthwhile,
+// enumerates the shard domain (the root trie level) via the shared
+// leapfrog.ShardDomain helper. A returned count of 1 means the caller
+// must take the sequential path.
+func (p *Plan) shardSetup(policy Policy) ([]int64, int) {
+	return leapfrog.ShardDomain(p.inst, policy.Workers, p.counters)
+}
+
+// runShards runs body on one goroutine per worker via the shared
+// leapfrog.RunSharded orchestration, merging per-worker accounting into
+// the plan's sink.
+func (p *Plan) runShards(workers int, body func(w int, wc *stats.Counters)) {
+	leapfrog.RunSharded(workers, p.counters, body)
+}
+
+// CountParallel runs CachedTJCount sharded over policy.Workers goroutines
+// (0: one per core; 1: exactly the sequential Count code path). The count
+// is bit-identical to Count(policy) under every policy: per-worker caches
+// only change which subtrees are recomputed rather than reused, and a
+// cached intermediate always equals what recomputation would produce.
+// CachedEntries sums the workers' resident entries; note that the
+// capacity bound applies per worker, so K workers may retain up to
+// K*Capacity entries in total.
+func (p *Plan) CountParallel(policy Policy) CountResult {
+	if p.inst.Empty() {
+		return CountResult{}
+	}
+	keys, workers := p.shardSetup(policy)
+	if workers <= 1 {
+		return p.Count(policy)
+	}
+	totals := make([]int64, workers)
+	entries := make([]int, workers)
+	p.runShards(workers, func(w int, wc *stats.Counters) {
+		e := &countExec{
+			plan:   p,
+			run:    leapfrog.NewRunnerCounters(p.inst, wc),
+			intrmd: make([]int64, p.numNodes),
+			cm:     newManager[int64](policy, p.numNodes, p.cacheable, wc, nil),
+		}
+		e.mu = e.run.Assignment()
+		e.shardScan(keys, w, workers)
+		totals[w] = e.total
+		entries[w] = e.cm.Entries()
+	})
+	var res CountResult
+	for w := range totals {
+		res.Count += totals[w]
+		res.CachedEntries += entries[w]
+	}
+	return res
+}
+
+// shardScan runs the depth-0 loop of rjoin restricted to the root values
+// keys[start], keys[start+stride], ... — the worker's shard. Values in a
+// shard ascend, so the forward-only frog seek visits each in one pass.
+func (e *countExec) shardScan(keys []int64, start, stride int) {
+	p := e.plan
+	root := p.root
+	e.intrmd[root] = 0
+	frog, ok := e.run.OpenDepth(0)
+	for i := start; ok && i < len(keys); i += stride {
+		if !frog.SeekGE(keys[i]) {
+			break
+		}
+		e.mu[0] = keys[i]
+		e.rjoin(1, 1)
+		if p.bagLast[0] {
+			prod := int64(1)
+			for _, c := range p.children[root] {
+				prod *= e.intrmd[c]
+				if prod == 0 {
+					break
+				}
+			}
+			e.intrmd[root] += prod
+		}
+	}
+	e.run.CloseDepth(0)
+}
+
+// AggregateParallel is Aggregate sharded over policy.Workers goroutines
+// (0: one per core; 1: the sequential code path). Per-tuple ⊗-products
+// are formed in exactly the sequential association; only the ⊕-fold is
+// regrouped by shard, so the result is bit-identical to Aggregate
+// whenever ⊕ is exactly associative (integer addition, min/max — hence
+// CountSemiring and TropicalSemiring reproduce sequential results
+// bit-for-bit). For floating-point ⊕ (SumProductSemiring) the result is
+// deterministic for a fixed worker count but may differ from the
+// sequential rounding by the usual reassociation error.
+func AggregateParallel[T any](p *Plan, policy Policy, sr Semiring[T], w VarWeight[T]) T {
+	if p.inst.Empty() {
+		return sr.Zero
+	}
+	keys, workers := p.shardSetup(policy)
+	if workers <= 1 {
+		return Aggregate(p, policy, sr, w)
+	}
+	totals := make([]T, workers)
+	p.runShards(workers, func(wi int, wc *stats.Counters) {
+		e := &aggExec[T]{
+			plan:   p,
+			run:    leapfrog.NewRunnerCounters(p.inst, wc),
+			sr:     sr,
+			w:      w,
+			total:  sr.Zero,
+			intrmd: make([]T, p.numNodes),
+			cm:     newManager[T](policy, p.numNodes, p.cacheable, wc, nil),
+		}
+		e.mu = e.run.Assignment()
+		e.shardScan(keys, wi, workers)
+		totals[wi] = e.total
+	})
+	total := sr.Zero
+	for _, t := range totals {
+		total = sr.Add(total, t)
+	}
+	return total
+}
+
+// shardScan is the aggregate twin of countExec.shardScan: the depth-0
+// scan restricted to the worker's root values, with the same per-value
+// weight factoring and child folding as the sequential rjoin.
+func (e *aggExec[T]) shardScan(keys []int64, start, stride int) {
+	p := e.plan
+	root := p.root
+	e.intrmd[root] = e.sr.Zero
+	frog, ok := e.run.OpenDepth(0)
+	for i := start; ok && i < len(keys); i += stride {
+		if !frog.SeekGE(keys[i]) {
+			break
+		}
+		a := keys[i]
+		e.mu[0] = a
+		e.rjoin(1, e.sr.Mul(e.sr.One, e.w(0, a)))
+		if p.bagLast[0] {
+			prod := e.sr.One
+			for dd := p.firstVar[root]; dd <= p.lastVar[root]; dd++ {
+				prod = e.sr.Mul(prod, e.w(dd, e.mu[dd]))
+			}
+			for _, c := range p.children[root] {
+				prod = e.sr.Mul(prod, e.intrmd[c])
+				if e.sr.IsZero != nil && e.sr.IsZero(prod) {
+					break
+				}
+			}
+			e.intrmd[root] = e.sr.Add(e.intrmd[root], prod)
+		}
+	}
+	e.run.CloseDepth(0)
+}
+
+// EvalParallel is Eval sharded over policy.Workers goroutines (0: one per
+// core; 1: the sequential, streaming code path). Workers buffer their
+// tuples per root value; once all workers join, the buffers are emitted
+// in ascending root order, so the stream consists of the same root-value
+// blocks in the same order as sequential Eval. Within one block the order
+// matches the sequential run except where caches reorder subtree
+// expansion (a cache hit expands the memoized subtree at emit time, a
+// scan emits it during the scan — the same reordering a sequential cached
+// run exhibits); with Policy.Disabled the stream is tuple-for-tuple the
+// sequential scan order. The tradeoff is materialization: the full result
+// is held in memory before the first emit, and an emit callback returning
+// false stops the delivery but not the (already finished) join — use the
+// sequential Eval for streaming or early-stopping consumers. Unlike
+// sequential Eval, the emitted slices are freshly allocated and may be
+// retained by the callback.
+func (p *Plan) EvalParallel(policy Policy, emit func(mu []int64) bool) EvalResult {
+	if p.inst.Empty() {
+		return EvalResult{}
+	}
+	keys, workers := p.shardSetup(policy)
+	if workers <= 1 {
+		return p.Eval(policy, emit)
+	}
+	// buckets[i] collects the result tuples whose root value is keys[i];
+	// shards own disjoint index sets, so no locking is needed.
+	buckets := make([][][]int64, len(keys))
+	entries := make([]int, workers)
+	p.runShards(workers, func(w int, wc *stats.Counters) {
+		e := &evalExec{
+			plan:    p,
+			run:     leapfrog.NewRunnerCounters(p.inst, wc),
+			ctrs:    wc,
+			sets:    make([]factorized.Set, p.numNodes),
+			collect: make([]bool, p.numNodes),
+			intent:  make([]bool, p.numNodes),
+			cm: newManager[factorized.Set](policy, p.numNodes, p.cacheable, wc,
+				func(s factorized.Set) int { return len(s) }),
+		}
+		cur := -1
+		e.emit = func(mu []int64) bool {
+			buckets[cur] = append(buckets[cur], append([]int64(nil), mu...))
+			return true
+		}
+		e.mu = e.run.Assignment()
+		e.shardScan(keys, w, workers, func(i int) { cur = i })
+		entries[w] = e.cm.Entries()
+	})
+	var res EvalResult
+	for _, n := range entries {
+		res.CachedEntries += n
+	}
+	for _, bucket := range buckets {
+		for _, tup := range bucket {
+			res.Emitted++
+			if !emit(tup) {
+				return res
+			}
+		}
+	}
+	return res
+}
+
+// shardScan is the evaluation twin of countExec.shardScan. enter is
+// invoked with the root key index before each root value is evaluated
+// (the parallel driver uses it to select the output bucket).
+func (e *evalExec) shardScan(keys []int64, start, stride int, enter func(i int)) bool {
+	p := e.plan
+	root := p.root
+	e.intent[root] = false
+	e.collect[root] = e.collectRoot
+	e.sets[root] = nil
+	frog, ok := e.run.OpenDepth(0)
+	cont := true
+	for i := start; ok && cont && i < len(keys); i += stride {
+		if !frog.SeekGE(keys[i]) {
+			break
+		}
+		enter(i)
+		e.mu[0] = keys[i]
+		cont = e.rjoin(1)
+		if p.bagLast[0] && e.collect[root] && cont {
+			e.appendEntry(root)
+		}
+	}
+	e.run.CloseDepth(0)
+	return cont
+}

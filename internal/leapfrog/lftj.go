@@ -1,6 +1,9 @@
 package leapfrog
 
-import "repro/internal/trie"
+import (
+	"repro/internal/stats"
+	"repro/internal/trie"
+)
 
 // Runner executes LFTJ over an Instance: TJCount of Fig. 1 and its
 // evaluation twin. A Runner holds per-run iterator state; create one per
@@ -15,8 +18,18 @@ type Runner struct {
 }
 
 // NewRunner prepares fresh iterators and per-depth frogs for one
-// execution over the instance.
+// execution over the instance, accounting into the instance's counters.
 func NewRunner(inst *Instance) *Runner {
+	return NewRunnerCounters(inst, inst.counters)
+}
+
+// NewRunnerCounters is NewRunner with an explicit accounting sink: every
+// trie iterator the runner owns accounts into c instead of the shared
+// instance counters. Parallel executions give each worker its own runner
+// and a private Counters (merged after the workers join), so the
+// immutable tries are shared while all mutable state — cursors, frogs,
+// the assignment buffer, accounting — stays worker-local. c may be nil.
+func NewRunnerCounters(inst *Instance, c *stats.Counters) *Runner {
 	r := &Runner{
 		inst:  inst,
 		iters: make([]*trie.Iterator, len(inst.atoms)),
@@ -25,7 +38,7 @@ func NewRunner(inst *Instance) *Runner {
 		mu:    make([]int64, inst.NumVars()),
 	}
 	for i, leg := range inst.atoms {
-		r.iters[i] = leg.Trie.NewIterator()
+		r.iters[i] = leg.Trie.NewIteratorCounters(c)
 	}
 	for d, legIdxs := range inst.legsAt {
 		ls := make([]*trie.Iterator, len(legIdxs))

@@ -3,10 +3,12 @@
 // traffic analysis), cache hit/miss statistics, and skew metrics over
 // relation columns.
 //
-// Counters are plain int64 fields. All engines in this repository are
-// single-threaded, matching the paper's single-core experimental protocol,
-// so no atomics are needed; a Counters value must not be shared across
-// goroutines.
+// Counters are plain int64 fields with no atomics, so a Counters value
+// must not be shared across goroutines. The parallel engines instead give
+// every worker its own Counters instance and fold the workers' accounting
+// into the caller's sink with Merge once the workers have joined; the
+// merged totals are exact because every increment happened on exactly one
+// private instance.
 package stats
 
 import "fmt"
@@ -66,6 +68,17 @@ func (c *Counters) Add(o *Counters) {
 	c.CacheMisses += o.CacheMisses
 	c.CacheInserts += o.CacheInserts
 	c.CacheEvictions += o.CacheEvictions
+}
+
+// Merge folds the per-worker counters ws into c, in order. It is the
+// reduction step of the parallel engines: each worker accounts into its
+// own Counters during the run and the driver merges them after the
+// workers have joined, so the hot path needs no atomics yet the combined
+// accounting is exact. c may be nil (no-op), as may individual workers.
+func (c *Counters) Merge(ws ...*Counters) {
+	for _, w := range ws {
+		c.Add(w)
+	}
 }
 
 // HitRate returns the cache hit rate in [0,1], or 0 if no lookups happened.

@@ -6,8 +6,9 @@
 // seekLowerBound is a binary search within the sibling range, meeting the
 // amortized-logarithmic requirement for worst-case optimality.
 //
-// Every cell read — including each binary-search probe — increments the
-// shared stats.Counters, which is how the repository reproduces the
+// Every cell read — including each binary-search probe — increments a
+// stats.Counters (the trie's shared sink by default, or a per-iterator
+// sink for parallel workers), which is how the repository reproduces the
 // paper's memory-traffic numbers (§1, §5).
 package trie
 
@@ -125,16 +126,26 @@ func (t *Trie) Fanout(d int) float64 {
 // before the level-0 operations.
 type Iterator struct {
 	t     *Trie
+	c     *stats.Counters // accounting sink (defaults to the trie's)
 	depth int
 	lo    []int32 // sibling range per depth
 	hi    []int32
 	pos   []int32
 }
 
-// NewIterator returns an iterator at the virtual root.
-func (t *Trie) NewIterator() *Iterator {
+// NewIterator returns an iterator at the virtual root, accounting into
+// the trie's shared counters.
+func (t *Trie) NewIterator() *Iterator { return t.NewIteratorCounters(t.c) }
+
+// NewIteratorCounters returns an iterator at the virtual root that
+// accounts into c instead of the trie's shared counters. Parallel engines
+// use this so workers over the same immutable trie each increment a
+// private Counters (the trie's own sink is not goroutine-safe). c may be
+// nil to disable accounting for this cursor.
+func (t *Trie) NewIteratorCounters(c *stats.Counters) *Iterator {
 	return &Iterator{
 		t:     t,
+		c:     c,
 		depth: -1,
 		lo:    make([]int32, t.arity),
 		hi:    make([]int32, t.arity),
@@ -219,10 +230,10 @@ func (it *Iterator) SeekGE(v int64) {
 	it.pos[d] = lo + i
 }
 
-// account adds n trie accesses to the counters, if any.
+// account adds n trie accesses to the iterator's counters, if any.
 func (it *Iterator) account(n int64) {
-	if it.t.c != nil {
-		it.t.c.TrieAccesses += n
+	if it.c != nil {
+		it.c.TrieAccesses += n
 	}
 }
 
