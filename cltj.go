@@ -25,8 +25,10 @@ import (
 	"repro/internal/leapfrog"
 	"repro/internal/pairwise"
 	"repro/internal/relation"
+	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/td"
+	"repro/internal/trie"
 	"repro/internal/yannakakis"
 )
 
@@ -54,6 +56,23 @@ type (
 	// FactorizedSet is a factorized (d-)representation of a result set,
 	// as produced by Plan.EvalFactorized.
 	FactorizedSet = factorized.Set
+	// Engine is a resident query service: one database loaded once, trie
+	// indices shared across any number of concurrent queries through a
+	// registry, per-query cache policies and engine-lifetime statistics.
+	Engine = server.Engine
+	// EngineConfig sizes a new Engine (default workers, trie byte
+	// budget, reuse toggle).
+	EngineConfig = server.Config
+	// EngineRequest is one query submission to an Engine.
+	EngineRequest = server.Request
+	// EngineResponse is an Engine's answer to one request.
+	EngineResponse = server.Response
+	// TrieRegistry is a shared, byte-budgeted, LRU-evicting cache of
+	// immutable tries keyed by (relation, attribute order).
+	TrieRegistry = trie.Registry
+	// TrieSource supplies shared tries to plan compilation; a
+	// *TrieRegistry implements it.
+	TrieSource = leapfrog.TrieSource
 )
 
 // Semiring is a commutative semiring for Aggregate (§6 extension).
@@ -126,6 +145,18 @@ func MustRelation(name string, arity int, tuples [][]int64) *Relation {
 // NewDB builds a database over the given relations.
 func NewDB(rels ...*Relation) *DB { return relation.NewDB(rels...) }
 
+// NewEngine wraps db in a resident query service: tries are built once
+// into a shared registry (bounded by cfg.TrieBudget bytes, LRU-evicted
+// under pressure) and reused by every subsequent query; Engine.Do is
+// safe to call from any number of goroutines. cmd/cltjd serves an
+// Engine over HTTP.
+func NewEngine(db *DB, cfg EngineConfig) *Engine { return server.NewEngine(db, cfg) }
+
+// NewTrieRegistry returns a shared trie cache bounded to budgetBytes
+// resident bytes (0 = unbounded), for use via Options.Tries when
+// driving plans directly instead of through an Engine.
+func NewTrieRegistry(budgetBytes int64) *TrieRegistry { return trie.NewRegistry(budgetBytes) }
+
 // Options configures the automatic CLFTJ entry points.
 type Options struct {
 	// Policy is the cache policy (zero value: unbounded caches that
@@ -153,6 +184,11 @@ type Options struct {
 	// sequential engine at any setting. Overrides Policy.Workers when
 	// non-zero.
 	Workers int
+	// Tries is an optional shared trie source (see NewTrieRegistry):
+	// plan compilation draws indices from it instead of building
+	// per-query tries, so repeated queries skip trie construction
+	// entirely. nil builds private tries, as before.
+	Tries TrieSource
 }
 
 // policy resolves the effective cache/execution policy of the options.
@@ -168,7 +204,7 @@ func (o Options) policy() Policy {
 // when opts.TD is nil).
 func NewPlan(q *Query, db *DB, opts Options) (*Plan, error) {
 	if opts.TD == nil {
-		return core.AutoPlan(q, db, core.AutoOptions{Counters: opts.Counters})
+		return core.AutoPlan(q, db, core.AutoOptions{Counters: opts.Counters, Tries: opts.Tries})
 	}
 	order := opts.Order
 	if order == nil {
@@ -177,7 +213,7 @@ func NewPlan(q *Query, db *DB, opts Options) (*Plan, error) {
 			order = append(order, qvars[xi])
 		}
 	}
-	return core.NewPlan(q, db, opts.TD, order, opts.Counters)
+	return core.NewPlanWith(q, db, opts.TD, order, opts.Counters, opts.Tries)
 }
 
 // Count evaluates |q(D)| with CLFTJ. With opts.Workers unset (or 0) the

@@ -203,3 +203,56 @@ func TestFacadeWorkers(t *testing.T) {
 		}
 	}
 }
+
+// TestFacadeSharedTries drives Count through a shared registry: counts
+// must match private-trie runs, and a warm registry must serve repeated
+// queries without a single trie build.
+func TestFacadeSharedTries(t *testing.T) {
+	db := facadeDB()
+	reg := NewTrieRegistry(0)
+	for _, q := range []*Query{queries.Cycle(4), queries.Path(4), queries.Cycle(4)} {
+		want, err := Count(q, db, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var c Counters
+		got, err := Count(q, db, Options{Tries: reg, Counters: &c})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("%s: shared-trie count %d, want %d", q, got, want)
+		}
+	}
+	var c Counters
+	if _, err := Count(queries.Cycle(4), db, Options{Tries: reg, Counters: &c}); err != nil {
+		t.Fatal(err)
+	}
+	if c.TrieBuilds != 0 {
+		t.Errorf("warm registry run built %d tries, want 0", c.TrieBuilds)
+	}
+	if s := reg.Stats(); s.Hits == 0 || s.Builds == 0 {
+		t.Errorf("registry stats %+v, want both hits and builds", s)
+	}
+}
+
+// TestFacadeEngine exercises the resident-service facade end to end.
+func TestFacadeEngine(t *testing.T) {
+	db := facadeDB()
+	q := queries.Cycle(4)
+	want, err := Count(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := NewEngine(db, EngineConfig{Workers: 2})
+	resp, err := e.Do(EngineRequest{Query: q.String()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Count != want {
+		t.Errorf("engine count %d, want %d", resp.Count, want)
+	}
+	if s := e.Stats(); s.Queries != 1 {
+		t.Errorf("engine queries = %d, want 1", s.Queries)
+	}
+}

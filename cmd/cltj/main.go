@@ -1,20 +1,32 @@
-// Command cltj runs a single query against an edge-list graph with a
-// chosen join algorithm, reporting the count (or tuples), runtime and
+// Command cltj runs queries against an edge-list graph with a chosen
+// join algorithm, reporting counts (or tuples), runtime and
 // memory-access statistics.
 //
 // Usage:
 //
 //	cltj -query 5-cycle -data graph.txt [-algo clftj|lftj|ytd|pairwise]
 //	     [-eval] [-cache N] [-support N] [-workers K] [-symmetric] [-show-td]
+//	cltj -queries workload.txt [-trie-budget BYTES]   # batch over one engine
+//	cltj -serve :8372 [-trie-budget BYTES]            # HTTP/JSON service
 //
 // The query flag accepts k-path, k-cycle, k-clique, {c,t}-lollipop (as
 // "lollipop-c-t") and "rand-N-P-SEED". Without -data, a built-in skewed
 // sample graph is used.
+//
+// Batch mode (-queries) runs a workload file — one query per line,
+// either explicit text ("E(x,y), E(y,z), E(x,z)") or a named shape
+// ("5-cycle"); blank lines and #-comments are skipped — against one
+// resident engine, so trie indices built for early queries are reused
+// by later ones. Serve mode (-serve) exposes the same engine over HTTP
+// (POST /query, GET /stats, GET /healthz; see internal/server).
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
@@ -27,6 +39,7 @@ import (
 	"repro/internal/pairwise"
 	"repro/internal/queries"
 	"repro/internal/relation"
+	"repro/internal/server"
 	"repro/internal/stats"
 	"repro/internal/td"
 	"repro/internal/yannakakis"
@@ -42,60 +55,84 @@ func (r *relFlags) Set(v string) error {
 }
 
 func main() {
-	queryFlag := flag.String("query", "4-cycle", "query: k-path, k-cycle, k-clique, lollipop-c-t, rand-N-P-SEED")
-	qFlag := flag.String("q", "", "explicit query text, e.g. 'E(x,y), E(y,z), E(x,z)' (overrides -query)")
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its dependencies injected, so the CLI contract is
+// testable (and golden-tested) in-process.
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cltj", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	queryFlag := fs.String("query", "4-cycle", "query: k-path, k-cycle, k-clique, lollipop-c-t, rand-N-P-SEED")
+	qFlag := fs.String("q", "", "explicit query text, e.g. 'E(x,y), E(y,z), E(x,z)' (overrides -query)")
 	var rels relFlags
-	flag.Var(&rels, "rel", "load a relation from a whitespace-delimited file: -rel R=path (repeatable)")
-	dataFlag := flag.String("data", "", "edge-list file for relation E (default: built-in skewed sample graph)")
-	algoFlag := flag.String("algo", "clftj", "algorithm: clftj, lftj, ytd, pairwise")
-	evalFlag := flag.Bool("eval", false, "enumerate tuples instead of counting (prints the first few)")
-	cacheFlag := flag.Int("cache", 0, "CLFTJ cache capacity (0 = unbounded)")
-	supportFlag := flag.Int("support", 0, "CLFTJ support threshold")
-	workersFlag := flag.Int("workers", 1, "worker goroutines for clftj and for lftj counting (0 = one per core, 1 = sequential); other algorithms ignore it; -eval with workers > 1 materializes the full result before printing")
-	symFlag := flag.Bool("symmetric", false, "treat edges as undirected (add both directions)")
-	showTD := flag.Bool("show-td", false, "print the selected tree decomposition")
-	flag.Parse()
+	fs.Var(&rels, "rel", "load a relation from a whitespace-delimited file: -rel R=path (repeatable)")
+	dataFlag := fs.String("data", "", "edge-list file for relation E (default: built-in skewed sample graph)")
+	algoFlag := fs.String("algo", "clftj", "algorithm: clftj, lftj, ytd, pairwise")
+	evalFlag := fs.Bool("eval", false, "enumerate tuples instead of counting (prints the first few)")
+	cacheFlag := fs.Int("cache", 0, "CLFTJ cache capacity (0 = unbounded)")
+	supportFlag := fs.Int("support", 0, "CLFTJ support threshold")
+	workersFlag := fs.Int("workers", 1, "worker goroutines for clftj and for lftj counting (0 = one per core, 1 = sequential); other algorithms ignore it; -eval with workers > 1 materializes the full result before printing")
+	symFlag := fs.Bool("symmetric", false, "treat edges as undirected (add both directions)")
+	showTD := fs.Bool("show-td", false, "print the selected tree decomposition")
+	queriesFlag := fs.String("queries", "", "batch mode: run the workload file (one query per line) against one resident engine")
+	serveFlag := fs.String("serve", "", "serve mode: listen on this address (e.g. :8372) and answer HTTP/JSON queries over the loaded dataset")
+	budgetFlag := fs.Int64("trie-budget", 0, "resident trie byte budget for -queries/-serve (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintln(stderr, "cltj:", err)
+		return 1
+	}
+
+	db, g, err := dataset.LoadDB(rels, *dataFlag, *symFlag)
+	if err != nil {
+		return fail(err)
+	}
+	if g != nil {
+		fmt.Fprintf(stdout, "graph %s: %d nodes, %d edges\n", g.Name, g.N, g.NumEdges())
+	} else {
+		for _, name := range db.Names() {
+			r, err := db.Get(name)
+			if err != nil {
+				return fail(err)
+			}
+			fmt.Fprintf(stdout, "relation %s: %d tuples (arity %d)\n", name, r.Len(), r.Arity())
+		}
+	}
+
+	// The single-query paths default -workers to 1 (the paper's
+	// sequential protocol); the resident-engine modes default to one
+	// worker per core, matching cltjd, unless -workers was set.
+	engineWorkers := 0
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "workers" {
+			engineWorkers = *workersFlag
+		}
+	})
+	if *serveFlag != "" {
+		engine := server.NewEngine(db, server.Config{Workers: engineWorkers, TrieBudget: *budgetFlag})
+		fmt.Fprintf(stdout, "cltj service listening on %s (POST /query, GET /stats, GET /healthz)\n", *serveFlag)
+		if err := http.ListenAndServe(*serveFlag, server.NewHandler(engine)); err != nil {
+			return fail(err)
+		}
+		return 0
+	}
+	if *queriesFlag != "" {
+		return runBatch(db, *queriesFlag, engineWorkers, *budgetFlag, stdout, stderr)
+	}
 
 	var q *cq.Query
-	var err error
 	if *qFlag != "" {
 		q, err = cq.Parse(*qFlag)
 	} else {
 		q, err = parseQuery(*queryFlag)
 	}
 	if err != nil {
-		fail(err)
+		return fail(err)
 	}
-
-	var db *relation.DB
-	if len(rels) > 0 {
-		db = relation.NewDB()
-		for _, spec := range rels {
-			name, path, ok := strings.Cut(spec, "=")
-			if !ok {
-				fail(fmt.Errorf("bad -rel %q, want name=path", spec))
-			}
-			f, err := os.Open(path)
-			if err != nil {
-				fail(err)
-			}
-			r, err := relation.LoadRelation(name, f, relation.LoadOptions{Comment: "#"})
-			f.Close()
-			if err != nil {
-				fail(err)
-			}
-			db.Put(r)
-			fmt.Printf("relation %s: %d tuples (arity %d)\n", name, r.Len(), r.Arity())
-		}
-		fmt.Printf("query: %s\n", q)
-	} else {
-		g, err := loadGraph(*dataFlag)
-		if err != nil {
-			fail(err)
-		}
-		db = g.DB(*symFlag)
-		fmt.Printf("graph %s: %d nodes, %d edges; query: %s\n", g.Name, g.N, g.NumEdges(), q)
-	}
+	fmt.Fprintf(stdout, "query: %s\n", q)
 
 	var c stats.Counters
 	policy := core.Policy{Capacity: *cacheFlag, SupportThreshold: *supportFlag, Workers: *workersFlag}
@@ -105,14 +142,14 @@ func main() {
 	case "clftj":
 		plan, err := core.AutoPlan(q, db, core.AutoOptions{Counters: &c})
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if *showTD {
-			fmt.Printf("selected TD (order %v):\n%s", plan.Order(), plan.TD())
+			fmt.Fprintf(stdout, "selected TD (order %v):\n%s", plan.Order(), plan.TD())
 		}
 		start = time.Now()
 		if *evalFlag {
-			count = evalSome(plan.Order(), func(emit func([]int64) bool) {
+			count = evalSome(stdout, plan.Order(), func(emit func([]int64) bool) {
 				plan.EvalParallel(policy, emit)
 			})
 		} else {
@@ -121,11 +158,11 @@ func main() {
 	case "lftj":
 		inst, err := leapfrog.Build(q, db, q.Vars(), &c)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		start = time.Now()
 		if *evalFlag {
-			count = evalSome(inst.Order(), func(emit func([]int64) bool) {
+			count = evalSome(stdout, inst.Order(), func(emit func([]int64) bool) {
 				leapfrog.Eval(inst, emit)
 			})
 		} else {
@@ -134,34 +171,36 @@ func main() {
 	case "ytd":
 		tree, _ := td.Select(q, td.Options{}, td.DefaultCostConfig(len(q.Vars())))
 		if *showTD {
-			fmt.Printf("selected TD:\n%s", tree)
+			fmt.Fprintf(stdout, "selected TD:\n%s", tree)
 		}
 		e, err := yannakakis.New(q, db, tree, &c)
 		if err != nil {
-			fail(err)
+			return fail(err)
 		}
 		if *evalFlag {
-			count = evalSome(q.Vars(), func(emit func([]int64) bool) { e.Eval(emit) })
+			count = evalSome(stdout, q.Vars(), func(emit func([]int64) bool) { e.Eval(emit) })
 		} else {
 			count = e.Count()
 		}
 	case "pairwise":
 		if *evalFlag {
 			vars := q.Vars()
-			count = evalSome(vars, func(emit func([]int64) bool) {
-				if err := pairwise.Eval(q, db, &c, emit); err != nil {
-					fail(err)
-				}
+			var evalErr error
+			count = evalSome(stdout, vars, func(emit func([]int64) bool) {
+				evalErr = pairwise.Eval(q, db, &c, emit)
 			})
+			if evalErr != nil {
+				return fail(evalErr)
+			}
 		} else {
 			res, err := pairwise.Count(q, db, &c)
 			if err != nil {
-				fail(err)
+				return fail(err)
 			}
 			count = res.Count
 		}
 	default:
-		fail(fmt.Errorf("unknown algorithm %q", *algoFlag))
+		return fail(fmt.Errorf("unknown algorithm %q", *algoFlag))
 	}
 	dur := time.Since(start)
 
@@ -169,29 +208,86 @@ func main() {
 	if *evalFlag {
 		verb = "results"
 	}
-	fmt.Printf("%s: %d\ntime: %s\naccesses: %s\n", verb, count, dur.Round(time.Microsecond), c.String())
+	fmt.Fprintf(stdout, "%s: %d\ntime: %s\naccesses: %s\n", verb, count, dur.Round(time.Microsecond), c.String())
 	if c.CacheHits+c.CacheMisses > 0 {
-		fmt.Printf("cache hit rate: %.2f\n", c.HitRate())
+		fmt.Fprintf(stdout, "cache hit rate: %.2f\n", c.HitRate())
 	}
+	return 0
+}
+
+// runBatch executes a workload file against one resident engine: the
+// trie registry warms on the first queries and later ones reuse it, the
+// amortization a per-invocation CLI can never get.
+func runBatch(db *relation.DB, path string, workers int, budget int64, stdout, stderr io.Writer) int {
+	f, err := os.Open(path)
+	if err != nil {
+		fmt.Fprintln(stderr, "cltj:", err)
+		return 1
+	}
+	defer f.Close()
+
+	engine := server.NewEngine(db, server.Config{Workers: workers, TrieBudget: budget})
+	sc := bufio.NewScanner(f)
+	n, failed := 0, 0
+	start := time.Now()
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		text := line
+		if !strings.Contains(line, "(") {
+			q, err := parseQuery(line)
+			if err != nil {
+				fmt.Fprintf(stdout, "[%d] %s: error: %v\n", n, line, err)
+				failed++
+				n++
+				continue
+			}
+			text = q.String()
+		}
+		resp, err := engine.Do(server.Request{Query: text})
+		if err != nil {
+			fmt.Fprintf(stdout, "[%d] %s: error: %v\n", n, line, err)
+			failed++
+			n++
+			continue
+		}
+		fmt.Fprintf(stdout, "[%d] %s: count=%d builds=%d accesses=%d\n",
+			n, line, resp.Count, resp.Stats.Counters.TrieBuilds, resp.Stats.Counters.Total())
+		n++
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(stderr, "cltj:", err)
+		return 1
+	}
+	s := engine.Stats()
+	fmt.Fprintf(stdout, "batch: %d queries in %s\n", n, time.Since(start).Round(time.Microsecond))
+	fmt.Fprintf(stdout, "engine: lifetime %s\n", s.Lifetime.String())
+	fmt.Fprintf(stdout, "registry: %s\n", s.Registry.String())
+	if failed > 0 {
+		return 1
+	}
+	return 0
 }
 
 // evalSome drives an evaluation, printing the first 5 tuples and
 // returning the total.
-func evalSome(order []string, run func(emit func([]int64) bool)) int64 {
+func evalSome(stdout io.Writer, order []string, runEval func(emit func([]int64) bool)) int64 {
 	var n int64
-	run(func(mu []int64) bool {
+	runEval(func(mu []int64) bool {
 		if n < 5 {
 			parts := make([]string, len(mu))
 			for i, v := range mu {
 				parts[i] = fmt.Sprintf("%s=%d", order[i], v)
 			}
-			fmt.Println("  " + strings.Join(parts, " "))
+			fmt.Fprintln(stdout, "  "+strings.Join(parts, " "))
 		}
 		n++
 		return true
 	})
 	if n > 5 {
-		fmt.Printf("  ... (%d more)\n", n-5)
+		fmt.Fprintf(stdout, "  ... (%d more)\n", n-5)
 	}
 	return n
 }
@@ -234,21 +330,4 @@ func parseQuery(s string) (*cq.Query, error) {
 		return queries.Random(n, p, seed), nil
 	}
 	return nil, fmt.Errorf("unknown query %q (try 5-cycle, 4-path, lollipop-3-2, rand-5-0.4-7)", s)
-}
-
-func loadGraph(path string) (*dataset.Graph, error) {
-	if path == "" {
-		return dataset.WikiVote(1), nil
-	}
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, err
-	}
-	defer f.Close()
-	return dataset.Load(path, f)
-}
-
-func fail(err error) {
-	fmt.Fprintln(os.Stderr, "cltj:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"regexp"
+	"testing"
+)
+
+// The golden files pin the CLI contract: flags, count output and stats
+// formatting. Regenerate deliberately with `go test ./cmd/cltj -update`
+// after an intentional output change.
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// durations is the one nondeterministic part of the output.
+var durations = regexp.MustCompile(`\d+(\.\d+)?(ns|µs|us|ms|m?s)\b`)
+
+func normalize(out []byte) []byte {
+	return durations.ReplaceAll(out, []byte("<dur>"))
+}
+
+func runGolden(t *testing.T, name string, args []string, wantExit int) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	if got := run(args, &stdout, &stderr); got != wantExit {
+		t.Fatalf("exit = %d, want %d\nstdout: %s\nstderr: %s", got, wantExit, &stdout, &stderr)
+	}
+	got := normalize(append(stdout.Bytes(), stderr.Bytes()...))
+
+	golden := filepath.Join("testdata", name+".golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/cltj -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("output drifted from %s:\n--- got ---\n%s\n--- want ---\n%s", golden, got, want)
+	}
+}
+
+func TestCLIGoldenCount(t *testing.T) {
+	runGolden(t, "count_triangle", []string{"-query", "3-clique", "-workers", "1"}, 0)
+}
+
+func TestCLIGoldenCountLFTJ(t *testing.T) {
+	runGolden(t, "count_lftj_4cycle", []string{"-query", "4-cycle", "-algo", "lftj", "-workers", "1"}, 0)
+}
+
+func TestCLIGoldenEval(t *testing.T) {
+	runGolden(t, "eval_3path", []string{"-query", "3-path", "-eval", "-workers", "1"}, 0)
+}
+
+func TestCLIGoldenExplicitQuery(t *testing.T) {
+	runGolden(t, "explicit_query", []string{"-q", "E(x,y), E(y,x)", "-workers", "1", "-cache", "16"}, 0)
+}
+
+func TestCLIGoldenBatch(t *testing.T) {
+	dir := t.TempDir()
+	workload := filepath.Join(dir, "workload.txt")
+	content := `# mixed workload: named shapes and explicit text
+3-clique
+E(x,y), E(y,z), E(x,z)
+4-path
+
+# repeated on purpose: must report builds=0
+3-clique
+not-a-query
+`
+	if err := os.WriteFile(workload, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-queries", workload, "-workers", "1"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1 (one bad line)\n%s%s", got, &stdout, &stderr)
+	}
+	got := normalize(stdout.Bytes())
+
+	golden := filepath.Join("testdata", "batch.golden")
+	if *update {
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("missing golden file (run `go test ./cmd/cltj -update`): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("batch output drifted:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestCLIUnknownAlgo(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-algo", "quantum"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1", got)
+	}
+	if want := `unknown algorithm "quantum"`; !bytes.Contains(stderr.Bytes(), []byte(want)) {
+		t.Fatalf("stderr %q missing %q", &stderr, want)
+	}
+}
+
+func TestCLIBadFlag(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-no-such-flag"}, &stdout, &stderr); got != 2 {
+		t.Fatalf("exit = %d, want 2", got)
+	}
+}
+
+func TestBatchReusesTries(t *testing.T) {
+	dir := t.TempDir()
+	workload := filepath.Join(dir, "w.txt")
+	if err := os.WriteFile(workload, []byte("3-clique\n3-clique\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-queries", workload, "-workers", "1"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("exit = %d\n%s%s", got, &stdout, &stderr)
+	}
+	out := stdout.String()
+	first := regexp.MustCompile(`\[0\][^\n]*builds=(\d+)`).FindStringSubmatch(out)
+	second := regexp.MustCompile(`\[1\][^\n]*builds=(\d+)`).FindStringSubmatch(out)
+	if first == nil || second == nil {
+		t.Fatalf("unexpected batch output:\n%s", out)
+	}
+	if first[1] == "0" {
+		t.Fatalf("cold query reported builds=0:\n%s", out)
+	}
+	if second[1] != "0" {
+		t.Fatalf("warm repeat reported builds=%s, want 0:\n%s", second[1], out)
+	}
+}

@@ -7,6 +7,7 @@
 package bench
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -85,7 +86,7 @@ func (t *Table) String() string {
 // errMemoryBound marks runs skipped because the algorithm would
 // materialize intermediates beyond available memory (the analogue of the
 // paper's timeout/failure markings).
-var errMemoryBound = fmt.Errorf("bench: skipped, materialized intermediates exceed memory")
+var errMemoryBound = errors.New("bench: skipped, materialized intermediates exceed memory")
 
 // Measurement is one algorithm execution.
 type Measurement struct {

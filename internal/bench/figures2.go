@@ -219,6 +219,7 @@ func Experiments() []Experiment {
 		{"E9 (Fig. 13/14)", Figure13},
 		{"E10 (ablation)", Ablation},
 		{"E11 (parallel)", ParallelSpeedup},
+		{"E12 (service)", ServiceThroughput},
 	}
 }
 

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+// ServiceThroughput (E12) measures the resident query service beyond
+// the paper's single-query protocol: queries/sec over a fixed mixed
+// workload as the number of concurrent clients sweeps, with the shared
+// trie registry on versus off. With reuse on, every index is built once
+// for the engine's lifetime; with reuse off every query rebuilds its
+// tries, which is what a per-invocation CLI (or the paper's
+// preloaded-index protocol run from scratch) pays. The trie-build
+// column makes the amortization visible next to the throughput.
+func ServiceThroughput(cfg Config) *Table {
+	clientSweep := []int{1, 2, 4, 8}
+	repeats := 6
+	var g *dataset.Graph
+	if cfg.Quick {
+		g = dataset.TriadicPA(120, 3, 0.4, 2201)
+		repeats = 3
+	} else {
+		g = dataset.TriadicPA(300, 4, 0.4, 2201)
+	}
+	db := g.DB(false)
+
+	// The workload mixes shapes, modes and per-query cache policies, as
+	// service traffic would.
+	reqs := []server.Request{
+		{Query: "E(x,y), E(y,z), E(x,z)"},
+		{Query: "E(a,b), E(b,c), E(c,d)", CacheCapacity: 128},
+		{Query: "E(a,b), E(b,c), E(c,d), E(d,a)"},
+		{Query: "E(x,y), E(y,z), E(x,z)", Mode: "eval", Limit: 10},
+		{Query: "E(a,b), E(b,c), E(c,d)", Mode: "aggregate"},
+	}
+
+	t := &Table{
+		ID:     "E12 (service)",
+		Title:  "resident query service: throughput vs concurrent clients vs trie reuse",
+		Header: []string{"clients", "reuse", "queries", "queries/sec", "trie builds", "registry hits"},
+	}
+	for _, clients := range clientSweep {
+		for _, reuse := range []bool{true, false} {
+			engine := server.NewEngine(db, server.Config{Workers: 1, DisableReuse: !reuse})
+			n := clients * repeats * len(reqs)
+			work := make(chan server.Request, n)
+			for i := 0; i < clients*repeats; i++ {
+				for _, r := range reqs {
+					work <- r
+				}
+			}
+			close(work)
+
+			var wg sync.WaitGroup
+			var firstErr error
+			var errOnce sync.Once
+			start := time.Now()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func() {
+					defer wg.Done()
+					for req := range work {
+						if _, err := engine.Do(req); err != nil {
+							errOnce.Do(func() { firstErr = err })
+							return
+						}
+					}
+				}()
+			}
+			wg.Wait()
+			dur := time.Since(start)
+			if firstErr != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("ERROR at %d clients (reuse=%v): %v", clients, reuse, firstErr))
+				continue
+			}
+
+			s := engine.Stats()
+			qps := float64(s.Queries) / dur.Seconds()
+			label := "off"
+			builds := s.Lifetime.TrieBuilds
+			hits := int64(0)
+			if reuse {
+				label = "on"
+				hits = s.Registry.Hits
+			}
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprintf("%d", clients), label, itoa64(s.Queries),
+				fmt.Sprintf("%.0f", qps), itoa64(builds), itoa64(hits),
+			})
+		}
+	}
+	t.Notes = append(t.Notes,
+		"reuse=on: the engine's shared registry serves every index after the first build (trie builds stays flat as load grows)",
+		"reuse=off: every query rebuilds its tries — the per-invocation cost a resident service amortizes away",
+	)
+	return t
+}

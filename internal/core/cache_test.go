@@ -135,7 +135,7 @@ func TestManagerDisabled(t *testing.T) {
 	if _, ok := m.lookup(0, key(1)); ok {
 		t.Fatal("disabled cache stored an entry")
 	}
-	if !m.shouldCache(0, key(1)) == false {
+	if m.shouldCache(0, key(1)) {
 		// shouldCache must be false when disabled.
 		t.Fatal("disabled cache wants to cache")
 	}

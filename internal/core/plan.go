@@ -57,6 +57,14 @@ type Plan struct {
 // order (names). The TD must be valid for q and strongly compatible with
 // the order; both are verified. counters may be nil.
 func NewPlan(q *cq.Query, db *relation.DB, tree *td.TD, order []string, counters *stats.Counters) (*Plan, error) {
+	return NewPlanWith(q, db, tree, order, counters, nil)
+}
+
+// NewPlanWith is NewPlan with an optional shared trie source (see
+// leapfrog.BuildWith): a long-lived engine passes its trie.Registry so
+// plan compilation reuses resident indices instead of rebuilding them
+// per query. tries may be nil.
+func NewPlanWith(q *cq.Query, db *relation.DB, tree *td.TD, order []string, counters *stats.Counters, tries leapfrog.TrieSource) (*Plan, error) {
 	if err := tree.Validate(q); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -76,7 +84,7 @@ func NewPlan(q *cq.Query, db *relation.DB, tree *td.TD, order []string, counters
 	if !tree.StronglyCompatible(orderIdx) {
 		return nil, fmt.Errorf("core: tree decomposition is not strongly compatible with order %v", order)
 	}
-	inst, err := leapfrog.Build(q, db, order, counters)
+	inst, err := leapfrog.BuildWith(q, db, order, counters, tries)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +221,6 @@ func (p *Plan) compile(orderIdx []int) error {
 			if depths[i] >= firstVar[v] {
 				return fmt.Errorf("core: adhesion variable of bag %d not assigned before the bag", v)
 			}
-			_ = i
 		}
 		sortInts(depths)
 		adhesionDepths[v] = depths

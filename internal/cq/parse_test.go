@@ -34,7 +34,7 @@ func TestParseConstants(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !q.Atoms[0].Args[1].IsVar() == false || q.Atoms[0].Args[1].Const != 42 {
+	if q.Atoms[0].Args[1].IsVar() || q.Atoms[0].Args[1].Const != 42 {
 		t.Fatalf("const arg = %+v", q.Atoms[0].Args[1])
 	}
 	if q.Atoms[1].Args[0].Const != -7 {

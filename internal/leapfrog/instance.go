@@ -37,6 +37,18 @@ type Instance struct {
 	counters *stats.Counters
 }
 
+// TrieSource supplies shared, immutable tries over permuted base
+// relations — typically a trie.Registry held by a long-lived engine, so
+// that repeated queries reuse indices instead of rebuilding them. The
+// source is consulted only for atoms whose derived relation is the base
+// relation itself (all-distinct variables, no constants): those tries
+// depend on nothing query-specific and are safe to share. Implementations
+// must be safe for concurrent use and must return tries with no default
+// counter sink (per-run iterators attach their own accounting).
+type TrieSource interface {
+	Trie(rel *relation.Relation, perm []int, c *stats.Counters) (*trie.Trie, error)
+}
+
 // Build compiles the query against db under the given variable order
 // (names; must be a permutation of q.Vars()). counters may be nil.
 //
@@ -45,6 +57,16 @@ type Instance struct {
 // to a distinct variable. Atoms left with no variables act as boolean
 // guards (an empty guard empties the result).
 func Build(q *cq.Query, db *relation.DB, order []string, counters *stats.Counters) (*Instance, error) {
+	return BuildWith(q, db, order, counters, nil)
+}
+
+// BuildWith is Build with an optional trie source: when tries is non-nil,
+// atoms whose derived relation is the base relation draw their trie from
+// the source (one shared build per (relation, column order)) instead of
+// constructing a private one; atoms specialized by constants or repeated
+// variables always build privately, since their derived relations are
+// query-specific. tries may be nil, which is exactly Build.
+func BuildWith(q *cq.Query, db *relation.DB, order []string, counters *stats.Counters, tries TrieSource) (*Instance, error) {
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -71,7 +93,7 @@ func Build(q *cq.Query, db *relation.DB, order []string, counters *stats.Counter
 		legsAt:   make([][]int, len(order)),
 		counters: counters,
 	}
-	for ai, atom := range q.Atoms {
+	for _, atom := range q.Atoms {
 		rel, err := db.Get(atom.Rel)
 		if err != nil {
 			return nil, err
@@ -97,11 +119,22 @@ func Build(q *cq.Query, db *relation.DB, order []string, counters *stats.Counter
 			perm[i] = i
 		}
 		sort.Slice(perm, func(a, b int) bool { return pos[vars[perm[a]]] < pos[vars[perm[b]]] })
-		permuted, err := derived.Permute(perm)
-		if err != nil {
-			return nil, err
+		var tr *trie.Trie
+		if tries != nil && derived == rel {
+			// The derived relation is the base relation itself, so the
+			// index is query-independent: draw it from the shared source.
+			tr, err = tries.Trie(rel, perm, counters)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			permuted, err := derived.Permute(perm)
+			if err != nil {
+				return nil, err
+			}
+			tr = trie.Build(permuted, counters)
 		}
-		leg := AtomLeg{Trie: trie.Build(permuted, counters), VarPos: make([]int, len(vars))}
+		leg := AtomLeg{Trie: tr, VarPos: make([]int, len(vars))}
 		for i, p := range perm {
 			leg.VarPos[i] = pos[vars[p]]
 		}
@@ -110,7 +143,6 @@ func Build(q *cq.Query, db *relation.DB, order []string, counters *stats.Counter
 		for _, p := range leg.VarPos {
 			inst.legsAt[p] = append(inst.legsAt[p], legIdx)
 		}
-		_ = ai
 	}
 	for d, legs := range inst.legsAt {
 		if len(legs) == 0 {

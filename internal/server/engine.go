@@ -1,0 +1,293 @@
+// Package server hosts CLFTJ as a resident query service: an Engine
+// loads a dataset once, keeps the trie indices in a shared
+// least-recently-used registry bounded by a global byte budget, and
+// answers any number of concurrent count/eval/aggregate queries. Each
+// query is compiled through the ordinary Plan facade against the shared
+// registry, runs on the parallel engine with its own cache policy, and
+// accounts into private counters that are folded into engine-lifetime
+// totals when it finishes — so the amortization the paper's flexible
+// caches exploit within one query (§3, §5.3.3) extends across the whole
+// query stream: load once, index once, answer many.
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/cq"
+	"repro/internal/leapfrog"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/trie"
+)
+
+// Config sizes a new Engine.
+type Config struct {
+	// Workers is the default per-query parallelism when a request does
+	// not set its own: 0 uses one worker per core, 1 forces sequential.
+	Workers int
+	// TrieBudget bounds the registry's resident trie bytes, shared
+	// across all queries (0 = unbounded). Under pressure the least
+	// recently used index orders are evicted first.
+	TrieBudget int64
+	// DisableReuse turns the shared registry off: every query builds
+	// private tries, as a one-shot CLI run would. This is the control
+	// arm of the E12 benchmark and an escape hatch, not a fast mode.
+	DisableReuse bool
+	// MaxTuples caps the tuples an eval response carries when the
+	// request does not set its own limit (0: DefaultMaxTuples). The
+	// count is always exact; only the sample is capped.
+	MaxTuples int
+}
+
+// DefaultMaxTuples is the eval response cap when neither the request
+// nor the config names one.
+const DefaultMaxTuples = 100
+
+// Engine is a resident query service over one immutable database. All
+// methods are safe for concurrent use; the database must not be mutated
+// after the engine is constructed.
+type Engine struct {
+	db  *relation.DB
+	reg *trie.Registry
+	cfg Config
+
+	life    stats.Locked
+	queries atomic.Int64
+	started time.Time
+}
+
+// NewEngine wraps db in a resident engine. db must not be mutated
+// afterwards — the registry keys cached tries by relation identity.
+func NewEngine(db *relation.DB, cfg Config) *Engine {
+	e := &Engine{db: db, cfg: cfg, started: time.Now()}
+	if !cfg.DisableReuse {
+		e.reg = trie.NewRegistry(cfg.TrieBudget)
+	}
+	return e
+}
+
+// DB returns the engine's database.
+func (e *Engine) DB() *relation.DB { return e.db }
+
+// Registry returns the shared trie registry (nil when reuse is
+// disabled).
+func (e *Engine) Registry() *trie.Registry { return e.reg }
+
+// Request is one query submission. The zero values of the optional
+// fields defer to the engine's defaults.
+type Request struct {
+	// Query is the conjunctive query text, e.g. "E(x,y), E(y,z), E(x,z)".
+	Query string `json:"query"`
+	// Mode selects the execution: "count" (default), "eval" or
+	// "aggregate".
+	Mode string `json:"mode,omitempty"`
+	// Workers overrides the engine's default parallelism for this query
+	// (0: engine default; 1: sequential; K: K goroutines).
+	Workers int `json:"workers,omitempty"`
+	// CacheCapacity bounds this query's CLFTJ caches (entries per
+	// worker; 0 = unbounded), CacheSupport is the support threshold and
+	// CacheEviction one of "fifo" (default), "none", "lru". NoCache
+	// disables caching entirely (CLFTJ degenerates to LFTJ).
+	CacheCapacity int    `json:"cache_capacity,omitempty"`
+	CacheSupport  int    `json:"cache_support,omitempty"`
+	CacheEviction string `json:"cache_eviction,omitempty"`
+	NoCache       bool   `json:"no_cache,omitempty"`
+	// Limit caps the tuples returned by eval (0: engine default). The
+	// reported count is always the full |q(D)|.
+	Limit int `json:"limit,omitempty"`
+	// Semiring selects the aggregate: "count" (default; |q(D)| with
+	// subtree-aggregate caches), "sum" (sum over tuples of the product
+	// of the bound values) or "min" (tropical: min over tuples of the
+	// sum of the bound values).
+	Semiring string `json:"semiring,omitempty"`
+}
+
+// QueryStats is the per-query accounting attached to a Response.
+type QueryStats struct {
+	// DurationMS is the wall-clock time of parse+plan+run.
+	DurationMS float64 `json:"duration_ms"`
+	// Counters is this query's private accounting (trie/hash/tuple
+	// accesses, cache statistics, trie builds). A warm engine answers a
+	// repeated query with Counters.TrieBuilds == 0.
+	Counters stats.Counters `json:"counters"`
+	// CachedEntries is the number of intermediate results resident in
+	// the query's CLFTJ caches when it finished.
+	CachedEntries int `json:"cached_entries"`
+}
+
+// Response is the result of one Request.
+type Response struct {
+	// Mode echoes the executed mode.
+	Mode string `json:"mode"`
+	// Count is |q(D)| for count and eval, and the aggregate value for
+	// the counting semiring.
+	Count int64 `json:"count"`
+	// Value is the aggregate value for the float-valued semirings
+	// ("sum", "min").
+	Value float64 `json:"value,omitempty"`
+	// Order is the plan's variable order; eval tuples align with it.
+	Order []string `json:"order"`
+	// Tuples is the first Limit result tuples (eval only).
+	Tuples [][]int64 `json:"tuples,omitempty"`
+	// Truncated reports that eval found more tuples than Limit.
+	Truncated bool `json:"truncated,omitempty"`
+	// Stats is the query's private accounting.
+	Stats QueryStats `json:"stats"`
+}
+
+// EngineStats is the merged engine-lifetime view served by GET /stats.
+type EngineStats struct {
+	// Queries is the number of completed requests.
+	Queries int64 `json:"queries"`
+	// UptimeSeconds measures from engine construction.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Lifetime is the exact fold of every finished query's counters.
+	Lifetime stats.Counters `json:"lifetime"`
+	// Registry describes the shared trie registry (zero when reuse is
+	// disabled).
+	Registry trie.RegistryStats `json:"registry"`
+	// Relations inventories the loaded dataset.
+	Relations []RelationInfo `json:"relations"`
+}
+
+// RelationInfo describes one loaded relation.
+type RelationInfo struct {
+	Name   string `json:"name"`
+	Arity  int    `json:"arity"`
+	Tuples int    `json:"tuples"`
+}
+
+// Stats snapshots the engine-lifetime accounting.
+func (e *Engine) Stats() EngineStats {
+	s := EngineStats{
+		Queries:       e.queries.Load(),
+		UptimeSeconds: time.Since(e.started).Seconds(),
+		Lifetime:      e.life.Snapshot(),
+	}
+	if e.reg != nil {
+		s.Registry = e.reg.Stats()
+	}
+	for _, name := range e.db.Names() {
+		r, err := e.db.Get(name)
+		if err != nil {
+			continue
+		}
+		s.Relations = append(s.Relations, RelationInfo{Name: name, Arity: r.Arity(), Tuples: r.Len()})
+	}
+	return s
+}
+
+// policyOf resolves a request's cache/execution policy.
+func (e *Engine) policyOf(req Request) (core.Policy, error) {
+	pol := core.Policy{
+		Capacity:         req.CacheCapacity,
+		SupportThreshold: req.CacheSupport,
+		Disabled:         req.NoCache,
+		Workers:          req.Workers,
+	}
+	if pol.Workers == 0 {
+		pol.Workers = e.cfg.Workers
+	}
+	switch req.CacheEviction {
+	case "", "fifo":
+		pol.Eviction = core.EvictFIFO
+	case "none":
+		pol.Eviction = core.EvictNone
+	case "lru":
+		pol.Eviction = core.EvictLRU
+	default:
+		return pol, fmt.Errorf("server: unknown cache_eviction %q (want fifo, none or lru)", req.CacheEviction)
+	}
+	return pol, nil
+}
+
+// tries returns the shared source for plan compilation (nil when reuse
+// is disabled; leapfrog then builds per-query tries).
+func (e *Engine) tries() leapfrog.TrieSource {
+	if e.reg == nil {
+		return nil
+	}
+	return e.reg
+}
+
+// Do executes one request. It is safe to call from any number of
+// goroutines: queries share only the immutable database and the
+// mutex-guarded registry, while plans, CLFTJ caches and counters are
+// private per call, so results are bit-identical to a fresh sequential
+// run of the same query.
+func (e *Engine) Do(req Request) (*Response, error) {
+	start := time.Now()
+	q, err := cq.Parse(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	pol, err := e.policyOf(req)
+	if err != nil {
+		return nil, err
+	}
+
+	var c stats.Counters
+	plan, err := core.AutoPlan(q, e.db, core.AutoOptions{Counters: &c, Tries: e.tries()})
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Order: plan.Order()}
+
+	switch req.Mode {
+	case "", "count":
+		resp.Mode = "count"
+		res := plan.CountParallel(pol)
+		resp.Count = res.Count
+		resp.Stats.CachedEntries = res.CachedEntries
+
+	case "eval":
+		resp.Mode = "eval"
+		limit := req.Limit
+		if limit <= 0 {
+			limit = e.cfg.MaxTuples
+		}
+		if limit <= 0 {
+			limit = DefaultMaxTuples
+		}
+		res := plan.EvalParallel(pol, func(mu []int64) bool {
+			resp.Count++
+			if len(resp.Tuples) < limit {
+				resp.Tuples = append(resp.Tuples, append([]int64(nil), mu...))
+			} else {
+				resp.Truncated = true
+			}
+			return true
+		})
+		resp.Stats.CachedEntries = res.CachedEntries
+
+	case "aggregate":
+		resp.Mode = "aggregate"
+		switch req.Semiring {
+		case "", "count":
+			sr := core.CountSemiring()
+			resp.Count = core.AggregateParallel(plan, pol, sr, core.UnitWeight(sr))
+		case "sum":
+			sr := core.SumProductSemiring()
+			resp.Value = core.AggregateParallel(plan, pol, sr,
+				func(_ int, v int64) float64 { return float64(v) })
+		case "min":
+			sr := core.TropicalSemiring()
+			resp.Value = core.AggregateParallel(plan, pol, sr,
+				func(_ int, v int64) float64 { return float64(v) })
+		default:
+			return nil, fmt.Errorf("server: unknown semiring %q (want count, sum or min)", req.Semiring)
+		}
+
+	default:
+		return nil, fmt.Errorf("server: unknown mode %q (want count, eval or aggregate)", req.Mode)
+	}
+
+	resp.Stats.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	resp.Stats.Counters = c
+	e.life.Merge(&c)
+	e.queries.Add(1)
+	return resp, nil
+}

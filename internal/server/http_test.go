@@ -1,0 +1,141 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func newTestServer(t *testing.T) (*httptest.Server, *Engine) {
+	t.Helper()
+	e := NewEngine(testDB(), Config{Workers: 2})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(srv.Close)
+	return srv, e
+}
+
+func postQuery(t *testing.T, srv *httptest.Server, body string) (*http.Response, map[string]any) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/query", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var decoded map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&decoded); err != nil {
+		t.Fatal(err)
+	}
+	return resp, decoded
+}
+
+func TestHTTPQueryRoundTrip(t *testing.T) {
+	srv, e := newTestServer(t)
+	resp, body := postQuery(t, srv, `{"query": "E(x,y), E(y,z), E(x,z)"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %v", resp.StatusCode, body)
+	}
+	if body["mode"] != "count" {
+		t.Fatalf("mode = %v", body["mode"])
+	}
+	want := seqCount(t, e.DB(), "E(x,y), E(y,z), E(x,z)")
+	if int64(body["count"].(float64)) != want {
+		t.Fatalf("count = %v, want %d", body["count"], want)
+	}
+	if _, ok := body["stats"].(map[string]any); !ok {
+		t.Fatalf("response missing stats: %v", body)
+	}
+}
+
+func TestHTTPQueryEval(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, body := postQuery(t, srv, `{"query": "E(x,y), E(y,z)", "mode": "eval", "limit": 2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d, body %v", resp.StatusCode, body)
+	}
+	tuples, ok := body["tuples"].([]any)
+	if !ok || len(tuples) != 2 {
+		t.Fatalf("tuples = %v, want 2", body["tuples"])
+	}
+	if body["truncated"] != true {
+		t.Fatalf("truncated = %v, want true", body["truncated"])
+	}
+}
+
+func TestHTTPQueryErrors(t *testing.T) {
+	srv, _ := newTestServer(t)
+	for _, tc := range []struct {
+		name, body string
+	}{
+		{"parse error", `{"query": "nope("}`},
+		{"bad json", `{"query":`},
+		{"unknown field", `{"query": "E(x,y)", "bogus": 1}`},
+		{"unknown mode", `{"query": "E(x,y)", "mode": "drop"}`},
+	} {
+		resp, body := postQuery(t, srv, tc.body)
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: status %d, want 400", tc.name, resp.StatusCode)
+		}
+		if body["error"] == "" {
+			t.Errorf("%s: missing error message", tc.name)
+		}
+	}
+
+	// Wrong method on every route.
+	resp, err := http.Get(srv.URL + "/query")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /query: status %d, want 405", resp.StatusCode)
+	}
+	resp, err = http.Post(srv.URL+"/stats", "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("POST /stats: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHTTPStatsAndHealthz(t *testing.T) {
+	srv, _ := newTestServer(t)
+	if _, body := postQuery(t, srv, `{"query": "E(x,y), E(y,x)"}`); body["error"] != nil {
+		t.Fatalf("seed query failed: %v", body["error"])
+	}
+
+	resp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var s EngineStats
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Queries != 1 {
+		t.Fatalf("stats queries = %d, want 1", s.Queries)
+	}
+	if s.Registry.Builds == 0 {
+		t.Fatal("stats report no trie builds after a query")
+	}
+	if len(s.Relations) != 1 {
+		t.Fatalf("relations = %+v", s.Relations)
+	}
+
+	hresp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hresp.Body.Close()
+	var h map[string]any
+	if err := json.NewDecoder(hresp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h["status"] != "ok" {
+		t.Fatalf("healthz = %v", h)
+	}
+}

@@ -1,0 +1,48 @@
+package stats
+
+import "sync"
+
+// Locked is a mutex-guarded Counters for accounting that outlives a
+// single execution and is updated from many goroutines — the
+// engine-lifetime totals of a long-lived query service. Queries run with
+// a private, unsynchronized Counters on the hot path (see the package
+// comment) and fold it into a Locked once, when the query finishes, so
+// the lifetime totals stay exact without per-access atomics.
+//
+// The zero value is ready to use.
+type Locked struct {
+	mu sync.Mutex
+	c  Counters
+}
+
+// Merge folds the given per-query counters into the lifetime totals.
+// nil receivers and nil arguments are no-ops, mirroring Counters.Merge.
+func (l *Locked) Merge(ws ...*Counters) {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c.Merge(ws...)
+}
+
+// Snapshot returns a copy of the lifetime totals, safe to read and
+// render while queries keep merging.
+func (l *Locked) Snapshot() Counters {
+	if l == nil {
+		return Counters{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.c
+}
+
+// Reset zeroes the lifetime totals.
+func (l *Locked) Reset() {
+	if l == nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.c = Counters{}
+}

@@ -38,6 +38,12 @@ type Counters struct {
 	// counts entries dropped to respect a capacity bound.
 	CacheInserts   int64
 	CacheEvictions int64
+
+	// TrieBuilds counts trie index constructions performed on behalf of
+	// this counter's owner. A long-lived engine whose trie registry is
+	// warm answers a repeated query with TrieBuilds == 0: every index is
+	// served from the shared registry instead of being rebuilt.
+	TrieBuilds int64
 }
 
 // Total returns the total number of memory accesses of all kinds.
@@ -68,6 +74,7 @@ func (c *Counters) Add(o *Counters) {
 	c.CacheMisses += o.CacheMisses
 	c.CacheInserts += o.CacheInserts
 	c.CacheEvictions += o.CacheEvictions
+	c.TrieBuilds += o.TrieBuilds
 }
 
 // Merge folds the per-worker counters ws into c, in order. It is the
@@ -95,6 +102,6 @@ func (c *Counters) HitRate() float64 {
 
 // String renders the counters compactly for logs and experiment tables.
 func (c *Counters) String() string {
-	return fmt.Sprintf("trie=%d hash=%d tuple=%d total=%d hits=%d misses=%d",
-		c.TrieAccesses, c.HashAccesses, c.TupleAccesses, c.Total(), c.CacheHits, c.CacheMisses)
+	return fmt.Sprintf("trie=%d hash=%d tuple=%d total=%d hits=%d misses=%d builds=%d",
+		c.TrieAccesses, c.HashAccesses, c.TupleAccesses, c.Total(), c.CacheHits, c.CacheMisses, c.TrieBuilds)
 }

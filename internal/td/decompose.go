@@ -160,7 +160,6 @@ func (b *tdBuilder) finish(root int) *TD {
 			parent[c] = v
 		}
 	}
-	_ = root
 	t := MustNew(b.bags, parent)
 	return t
 }

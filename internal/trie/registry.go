@@ -1,0 +1,248 @@
+package trie
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// Registry is a concurrency-safe cache of immutable tries keyed by
+// (relation, attribute order). It is the index store of a long-lived
+// query engine: the first query that needs a relation indexed under some
+// column permutation builds the trie once; every later query — any query
+// shape, any worker — reuses it, so a warm engine answers repeated
+// queries with zero trie builds. Because tries are immutable and
+// iterators carry their own cursors and accounting, one resident trie
+// serves any number of concurrent executions.
+//
+// Registries bound their resident bytes (Trie.MemoryBytes): when an
+// insertion pushes the total past the budget, least-recently-used
+// entries are evicted first — the paper's "any amount of available
+// memory translates into memoization" premise (§3), applied to the
+// indices themselves and shared across queries instead of scoped to one.
+// Evicting an entry only drops the registry's reference; executions
+// already holding the trie keep it alive until they finish.
+type Registry struct {
+	budget int64 // max resident bytes; 0 = unbounded
+
+	mu      sync.Mutex
+	entries map[regKey]*regEntry
+	bytes   int64
+	head    *regEntry // least recently used (next victim)
+	tail    *regEntry // most recently used
+	stats   RegistryStats
+}
+
+// regKey identifies one cached trie: the identity of the (immutable)
+// base relation plus the column permutation its levels follow. Pointer
+// identity is deliberate — replacing a relation in a DB must not let a
+// stale index answer for the new data.
+type regKey struct {
+	rel  *relation.Relation
+	perm string
+}
+
+type regEntry struct {
+	key        regKey
+	trie       *Trie
+	err        error // build failure, for waiters; set before ready closes
+	bytes      int64
+	ready      chan struct{} // closed once trie (or err) is set
+	prev, next *regEntry
+}
+
+// RegistryStats reports a registry's lifetime activity.
+type RegistryStats struct {
+	// Hits and Builds count Get calls served from the registry and Get
+	// calls that had to construct the trie, respectively.
+	Hits   int64
+	Builds int64
+	// Evictions counts entries dropped to respect the byte budget.
+	Evictions int64
+	// Entries and Bytes describe the current residency; Budget echoes
+	// the configured bound (0 = unbounded).
+	Entries int
+	Bytes   int64
+	Budget  int64
+}
+
+func (s RegistryStats) String() string {
+	return fmt.Sprintf("entries=%d bytes=%d budget=%d hits=%d builds=%d evictions=%d",
+		s.Entries, s.Bytes, s.Budget, s.Hits, s.Builds, s.Evictions)
+}
+
+// NewRegistry returns an empty registry bounded to budgetBytes resident
+// trie bytes (0 = unbounded).
+func NewRegistry(budgetBytes int64) *Registry {
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	return &Registry{
+		budget:  budgetBytes,
+		entries: make(map[regKey]*regEntry),
+	}
+}
+
+// permSig encodes a column permutation as a comparable map key.
+func permSig(perm []int) string {
+	b := make([]byte, len(perm))
+	for i, p := range perm {
+		if p > 0xff {
+			// Arities beyond 255 do not occur; fall back to a verbose
+			// encoding rather than colliding.
+			return fmt.Sprint(perm)
+		}
+		b[i] = byte(p)
+	}
+	return string(b)
+}
+
+// Trie returns the trie over rel with columns permuted by perm, building
+// and caching it on first request; it is the leapfrog.TrieSource
+// implementation. Concurrent requests for the same key build once: the
+// first caller constructs while the others wait on the entry. Only the
+// building caller's c (may be nil) is charged the TrieBuilds increment;
+// waiters and later hits pay one HashAccesses probe. The returned trie
+// accounts into no default sink — executions must attach per-run
+// counters via NewIteratorCounters (the leapfrog runners always do),
+// which is what makes sharing it across goroutines sound.
+func (r *Registry) Trie(rel *relation.Relation, perm []int, c *stats.Counters) (*Trie, error) {
+	key := regKey{rel: rel, perm: permSig(perm)}
+
+	r.mu.Lock()
+	if c != nil {
+		c.HashAccesses++
+	}
+	if e, ok := r.entries[key]; ok {
+		r.touch(e)
+		r.stats.Hits++
+		ready := e.ready
+		r.mu.Unlock()
+		<-ready
+		if e.trie == nil {
+			// The builder failed (and removed the entry); relay its error.
+			return nil, e.err
+		}
+		return e.trie, nil
+	}
+	e := &regEntry{key: key, ready: make(chan struct{})}
+	r.entries[key] = e
+	r.pushBack(e)
+	r.stats.Builds++
+	r.mu.Unlock()
+
+	permuted, err := rel.Permute(perm)
+	if err != nil {
+		r.mu.Lock()
+		r.unlink(e)
+		delete(r.entries, key)
+		r.mu.Unlock()
+		e.err = err
+		close(e.ready)
+		return nil, err
+	}
+	t := Build(permuted, nil) // nil sink: shared across goroutines
+	if c != nil {
+		c.TrieBuilds++
+	}
+
+	r.mu.Lock()
+	e.trie = t
+	e.bytes = t.MemoryBytes()
+	r.bytes += e.bytes
+	r.evictOver(e)
+	r.mu.Unlock()
+	close(e.ready)
+	return t, nil
+}
+
+// evictOver drops least-recently-used ready entries until the resident
+// bytes fit the budget. Entries still being built are skipped (their
+// cost is unknown and a waiter holds them), as is keep — the entry just
+// inserted — so a single trie larger than the whole budget stays
+// resident rather than thrashing: the engine cannot answer without the
+// index, so the bound yields. Callers must hold r.mu.
+func (r *Registry) evictOver(keep *regEntry) {
+	if r.budget <= 0 {
+		return
+	}
+	for e := r.head; e != nil && r.bytes > r.budget; {
+		next := e.next
+		if e.trie != nil && e != keep {
+			r.unlink(e)
+			delete(r.entries, e.key)
+			r.bytes -= e.bytes
+			r.stats.Evictions++
+		}
+		e = next
+	}
+}
+
+// touch moves a hit entry to the most-recently-used position. Callers
+// must hold r.mu.
+func (r *Registry) touch(e *regEntry) {
+	if r.tail == e {
+		return
+	}
+	r.unlink(e)
+	r.pushBack(e)
+}
+
+func (r *Registry) pushBack(e *regEntry) {
+	e.prev, e.next = r.tail, nil
+	if r.tail != nil {
+		r.tail.next = e
+	} else {
+		r.head = e
+	}
+	r.tail = e
+}
+
+func (r *Registry) unlink(e *regEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		r.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		r.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}
+
+// Stats returns a snapshot of the registry's activity and residency.
+func (r *Registry) Stats() RegistryStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.stats
+	s.Entries = len(r.entries)
+	s.Bytes = r.bytes
+	s.Budget = r.budget
+	return s
+}
+
+// Shrink evicts least-recently-used entries until at most maxBytes are
+// resident — the operator's "reclaim memory now" knob, independent of
+// the steady-state budget. It reports the resulting resident bytes.
+func (r *Registry) Shrink(maxBytes int64) int64 {
+	if maxBytes < 0 {
+		maxBytes = 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for e := r.head; e != nil && r.bytes > maxBytes; {
+		next := e.next
+		if e.trie != nil {
+			r.unlink(e)
+			delete(r.entries, e.key)
+			r.bytes -= e.bytes
+			r.stats.Evictions++
+		}
+		e = next
+	}
+	return r.bytes
+}

@@ -1,0 +1,216 @@
+package trie
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+func regTestRel(t *testing.T, name string, n int) *relation.Relation {
+	t.Helper()
+	tuples := make([][]int64, 0, n)
+	for i := 0; i < n; i++ {
+		tuples = append(tuples, []int64{int64(i), int64((i * 7) % n)})
+	}
+	return relation.MustNew(name, 2, tuples)
+}
+
+func TestRegistryHitAvoidsRebuild(t *testing.T) {
+	r := NewRegistry(0)
+	rel := regTestRel(t, "E", 50)
+
+	var c1 stats.Counters
+	t1, err := r.Trie(rel, []int{0, 1}, &c1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c1.TrieBuilds != 1 {
+		t.Fatalf("first Get: TrieBuilds = %d, want 1", c1.TrieBuilds)
+	}
+
+	var c2 stats.Counters
+	t2, err := r.Trie(rel, []int{0, 1}, &c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.TrieBuilds != 0 {
+		t.Fatalf("second Get: TrieBuilds = %d, want 0", c2.TrieBuilds)
+	}
+	if t1 != t2 {
+		t.Fatal("second Get returned a different trie")
+	}
+
+	// A different attribute order is a different index.
+	var c3 stats.Counters
+	t3, err := r.Trie(rel, []int{1, 0}, &c3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.TrieBuilds != 1 {
+		t.Fatalf("permuted Get: TrieBuilds = %d, want 1", c3.TrieBuilds)
+	}
+	if t3 == t1 {
+		t.Fatal("permuted order returned the same trie")
+	}
+
+	s := r.Stats()
+	if s.Builds != 2 || s.Hits != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want builds=2 hits=1 entries=2", s)
+	}
+}
+
+func TestRegistryKeyedByRelationIdentity(t *testing.T) {
+	r := NewRegistry(0)
+	a := regTestRel(t, "E", 30)
+	b := regTestRel(t, "E", 30) // equal contents, distinct value
+
+	ta, err := r.Trie(a, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := r.Trie(b, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ta == tb {
+		t.Fatal("distinct relation values shared one cached trie")
+	}
+}
+
+func TestRegistryBudgetEvictsLRU(t *testing.T) {
+	rel := regTestRel(t, "E", 100)
+	one, err := NewRegistry(0).Trie(rel, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per := one.MemoryBytes()
+
+	// Room for two tries; the third insertion evicts the least recently
+	// used of the first two.
+	r := NewRegistry(2 * per)
+	rels := []*relation.Relation{
+		regTestRel(t, "A", 100), regTestRel(t, "B", 100), regTestRel(t, "C", 100),
+	}
+	for _, x := range rels[:2] {
+		if _, err := r.Trie(x, []int{0, 1}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch A so B becomes the LRU victim.
+	if _, err := r.Trie(rels[0], []int{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Trie(rels[2], []int{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	s := r.Stats()
+	if s.Evictions != 1 || s.Entries != 2 {
+		t.Fatalf("stats = %+v, want evictions=1 entries=2", s)
+	}
+	var c stats.Counters
+	if _, err := r.Trie(rels[0], []int{0, 1}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.TrieBuilds != 0 {
+		t.Fatal("A was evicted, want B (LRU)")
+	}
+	if _, err := r.Trie(rels[1], []int{0, 1}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.TrieBuilds != 1 {
+		t.Fatal("B was retained, want it evicted as LRU")
+	}
+}
+
+func TestRegistryOversizedEntryStaysResident(t *testing.T) {
+	r := NewRegistry(1) // smaller than any trie
+	rel := regTestRel(t, "E", 50)
+	tr, err := r.Trie(rel, []int{0, 1}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil {
+		t.Fatal("nil trie")
+	}
+	if s := r.Stats(); s.Entries != 1 {
+		t.Fatalf("entries = %d, want the oversized entry resident", s.Entries)
+	}
+}
+
+func TestRegistryShrink(t *testing.T) {
+	r := NewRegistry(0)
+	for _, name := range []string{"A", "B", "C"} {
+		if _, err := r.Trie(regTestRel(t, name, 60), []int{0, 1}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := r.Shrink(0); got != 0 {
+		t.Fatalf("Shrink(0) left %d bytes", got)
+	}
+	if s := r.Stats(); s.Entries != 0 || s.Evictions != 3 {
+		t.Fatalf("stats after shrink = %+v", s)
+	}
+}
+
+func TestRegistryBadPermutation(t *testing.T) {
+	r := NewRegistry(0)
+	rel := regTestRel(t, "E", 10)
+	if _, err := r.Trie(rel, []int{0, 5}, nil); err == nil {
+		t.Fatal("want error for invalid permutation")
+	}
+	// The failed entry must not poison the key.
+	if _, err := r.Trie(rel, []int{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRegistryConcurrentGet hammers one registry from many goroutines;
+// under -race it verifies the locking, and the per-key build counts
+// verify the singleflight behaviour (each key built exactly once).
+func TestRegistryConcurrentGet(t *testing.T) {
+	r := NewRegistry(0)
+	rels := []*relation.Relation{
+		regTestRel(t, "A", 80), regTestRel(t, "B", 80), regTestRel(t, "C", 80),
+	}
+	perms := [][]int{{0, 1}, {1, 0}}
+
+	const goroutines = 32
+	var wg sync.WaitGroup
+	got := make([][]*Trie, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var c stats.Counters
+			for round := 0; round < 20; round++ {
+				for _, rel := range rels {
+					for _, p := range perms {
+						tr, err := r.Trie(rel, p, &c)
+						if err != nil {
+							t.Error(err)
+							return
+						}
+						got[g] = append(got[g], tr)
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	s := r.Stats()
+	if want := int64(len(rels) * len(perms)); s.Builds != want {
+		t.Fatalf("builds = %d, want %d (one per key)", s.Builds, want)
+	}
+	// Every goroutine must have observed the same trie per key slot.
+	for g := 1; g < goroutines; g++ {
+		for i := range got[0] {
+			if got[g][i] != got[0][i] {
+				t.Fatalf("goroutine %d slot %d saw a different trie", g, i)
+			}
+		}
+	}
+}

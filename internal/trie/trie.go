@@ -40,6 +40,9 @@ type Trie struct {
 // in the column order the trie should index (use Relation.Permute first).
 // counters may be nil to disable accounting.
 func Build(r *relation.Relation, counters *stats.Counters) *Trie {
+	if counters != nil {
+		counters.TrieBuilds++
+	}
 	t := &Trie{arity: r.Arity(), c: counters}
 	n := r.Len()
 	k := r.Arity()
