@@ -67,6 +67,20 @@ type (
 	EngineRequest = server.Request
 	// EngineResponse is an Engine's answer to one request.
 	EngineResponse = server.Response
+	// EngineUpdate is one mutation submission to an Engine: a batch of
+	// inserts and deletes applied atomically to a single relation,
+	// installing a new version (Engine.Update).
+	EngineUpdate = server.UpdateRequest
+	// EngineUpdateResult describes the version an update installed.
+	EngineUpdateResult = server.UpdateResult
+	// EngineStats is the engine-lifetime view served by GET /stats.
+	EngineStats = server.EngineStats
+	// RelationStore is a mutable, versioned relation: immutable
+	// snapshots advanced by ApplyDelta, with base/delta lineage that
+	// lets trie registries patch indices instead of rebuilding them.
+	RelationStore = relation.Store
+	// RelationVersion is one immutable snapshot of a RelationStore.
+	RelationVersion = relation.Version
 	// TrieRegistry is a shared, byte-budgeted, LRU-evicting cache of
 	// immutable tries keyed by (relation, attribute order).
 	TrieRegistry = trie.Registry
@@ -156,6 +170,13 @@ func NewEngine(db *DB, cfg EngineConfig) *Engine { return server.NewEngine(db, c
 // resident bytes (0 = unbounded), for use via Options.Tries when
 // driving plans directly instead of through an Engine.
 func NewTrieRegistry(budgetBytes int64) *TrieRegistry { return trie.NewRegistry(budgetBytes) }
+
+// NewRelationStore wraps a relation as version 0 of a mutable,
+// versioned relation. Apply deltas with ApplyDelta; feed each new
+// version to a TrieRegistry via Observe so queries over the new
+// version reuse patched indices (an Engine does all of this per
+// Update).
+func NewRelationStore(base *Relation) *RelationStore { return relation.NewStore(base) }
 
 // Options configures the automatic CLFTJ entry points.
 type Options struct {

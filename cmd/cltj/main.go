@@ -6,6 +6,7 @@
 //
 //	cltj -query 5-cycle -data graph.txt [-algo clftj|lftj|ytd|pairwise]
 //	     [-eval] [-cache N] [-support N] [-workers K] [-symmetric] [-show-td]
+//	cltj -updates deltas.txt ...                      # replay deltas first
 //	cltj -queries workload.txt [-trie-budget BYTES]   # batch over one engine
 //	cltj -serve :8372 [-trie-budget BYTES]            # HTTP/JSON service
 //
@@ -18,7 +19,21 @@
 // ("5-cycle"); blank lines and #-comments are skipped — against one
 // resident engine, so trie indices built for early queries are reused
 // by later ones. Serve mode (-serve) exposes the same engine over HTTP
-// (POST /query, GET /stats, GET /healthz; see internal/server).
+// (POST /query, POST /update, GET /stats, GET /healthz; see
+// internal/server).
+//
+// Update replay (-updates) batch-applies a delta file to the loaded
+// dataset through the versioned stores before any query runs — the
+// offline counterpart of the daemon's live POST /update. One op per
+// line:
+//
+//	"+ E 7 9"     insert tuple (7,9) into relation E
+//	"- E 1 2"     delete tuple (1,2) from relation E
+//	"apply"       flush pending ops as one delta per relation
+//
+// Blank lines and #-comments are skipped; a final implicit "apply"
+// flushes the tail. Each flushed delta advances the relation's version
+// exactly like a live update would.
 package main
 
 import (
@@ -76,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	symFlag := fs.Bool("symmetric", false, "treat edges as undirected (add both directions)")
 	showTD := fs.Bool("show-td", false, "print the selected tree decomposition")
 	queriesFlag := fs.String("queries", "", "batch mode: run the workload file (one query per line) against one resident engine")
+	updatesFlag := fs.String("updates", "", "replay a delta file ('+ R v...' / '- R v...' / 'apply' lines) against the dataset before running")
 	serveFlag := fs.String("serve", "", "serve mode: listen on this address (e.g. :8372) and answer HTTP/JSON queries over the loaded dataset")
 	budgetFlag := fs.Int64("trie-budget", 0, "resident trie byte budget for -queries/-serve (0 = unbounded)")
 	if err := fs.Parse(args); err != nil {
@@ -102,6 +118,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 
+	if *updatesFlag != "" {
+		db, err = replayUpdates(db, *updatesFlag, stdout)
+		if err != nil {
+			return fail(err)
+		}
+	}
+
 	// The single-query paths default -workers to 1 (the paper's
 	// sequential protocol); the resident-engine modes default to one
 	// worker per core, matching cltjd, unless -workers was set.
@@ -113,7 +136,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	})
 	if *serveFlag != "" {
 		engine := server.NewEngine(db, server.Config{Workers: engineWorkers, TrieBudget: *budgetFlag})
-		fmt.Fprintf(stdout, "cltj service listening on %s (POST /query, GET /stats, GET /healthz)\n", *serveFlag)
+		fmt.Fprintf(stdout, "cltj service listening on %s (POST /query, POST /update, GET /stats, GET /healthz)\n", *serveFlag)
 		if err := http.ListenAndServe(*serveFlag, server.NewHandler(engine)); err != nil {
 			return fail(err)
 		}
@@ -213,6 +236,111 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stdout, "cache hit rate: %.2f\n", c.HitRate())
 	}
 	return 0
+}
+
+// replayUpdates batch-applies a delta file to db through versioned
+// relation stores (see the package comment for the line format) and
+// returns the database at the final versions. Pending ops flush as one
+// delta per relation on each "apply" line and at end of file, so a
+// replayed history advances versions exactly as live updates would.
+func replayUpdates(db *relation.DB, path string, stdout io.Writer) (*relation.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+
+	stores := make(map[string]*relation.Store)
+	var order []string // flush in first-touched order, for stable output
+	type delta struct{ ins, del [][]int64 }
+	pending := make(map[string]*delta)
+	applied := 0
+
+	flush := func() error {
+		for _, name := range order {
+			d := pending[name]
+			if d == nil || (len(d.ins) == 0 && len(d.del) == 0) {
+				continue
+			}
+			v, changed, err := stores[name].ApplyDelta(d.ins, d.del)
+			if err != nil {
+				return err
+			}
+			if changed {
+				applied++
+				fmt.Fprintf(stdout, "update %s: +%d -%d -> version %d (%d tuples)\n",
+					name, len(d.ins), len(d.del), v.Num, v.Rel.Len())
+			} else {
+				fmt.Fprintf(stdout, "update %s: +%d -%d -> no-op (version %d)\n",
+					name, len(d.ins), len(d.del), v.Num)
+			}
+			pending[name] = &delta{}
+		}
+		return nil
+	}
+
+	sc := bufio.NewScanner(f)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		if line == "apply" {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 3 || (fields[0] != "+" && fields[0] != "-") {
+			return nil, fmt.Errorf("%s:%d: want '+ R v...', '- R v...' or 'apply', got %q", path, lineNo, line)
+		}
+		name := fields[1]
+		tup := make([]int64, len(fields)-2)
+		for i, fv := range fields[2:] {
+			v, err := strconv.ParseInt(fv, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad value %q", path, lineNo, fv)
+			}
+			tup[i] = v
+		}
+		if _, ok := stores[name]; !ok {
+			rel, err := db.Get(name)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: %w", path, lineNo, err)
+			}
+			stores[name] = relation.NewStore(rel)
+			pending[name] = &delta{}
+			order = append(order, name)
+		}
+		if fields[0] == "+" {
+			pending[name].ins = append(pending[name].ins, tup)
+		} else {
+			pending[name].del = append(pending[name].del, tup)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+
+	out := relation.NewDB()
+	for _, name := range db.Names() {
+		r, err := db.Get(name)
+		if err != nil {
+			continue
+		}
+		out.Put(r)
+	}
+	for name, st := range stores {
+		out.Put(st.Version().Rel.Rename(name))
+	}
+	fmt.Fprintf(stdout, "updates: %d deltas applied\n", applied)
+	return out, nil
 }
 
 // runBatch executes a workload file against one resident engine: the

@@ -141,3 +141,42 @@ func TestBatchReusesTries(t *testing.T) {
 		t.Fatalf("warm repeat reported builds=%s, want 0:\n%s", second[1], out)
 	}
 }
+
+func TestCLIGoldenUpdates(t *testing.T) {
+	dir := t.TempDir()
+	deltas := filepath.Join(dir, "deltas.txt")
+	content := `# grow one triangle, then retract an edge of another
++ E 61 62
++ E 62 63
++ E 61 63
+apply
+- E 61 63
++ E 63 61
+
+# duplicate insert: second apply is partially redundant
++ E 61 62
+`
+	if err := os.WriteFile(deltas, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	runGolden(t, "updates_triangle", []string{"-updates", deltas, "-q", "E(x,y), E(y,z), E(x,z)", "-workers", "1"}, 0)
+}
+
+func TestCLIUpdatesErrors(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"badop.txt":  "* E 1 2\n",
+		"badval.txt": "+ E 1 x\n",
+		"badrel.txt": "+ R 1 2\n",
+		"short.txt":  "+ E\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		var stdout, stderr bytes.Buffer
+		if got := run([]string{"-updates", path}, &stdout, &stderr); got != 1 {
+			t.Errorf("%s: exit = %d, want 1 (stderr %q)", name, got, stderr.String())
+		}
+	}
+}

@@ -3,23 +3,31 @@
 // HTTP/JSON queries until stopped — the long-lived deployment shape the
 // per-invocation cltj CLI cannot offer. Repeated and overlapping
 // queries reuse resident indices, so steady-state latency excludes trie
-// construction entirely.
+// construction entirely. Relations stay mutable while the daemon runs:
+// POST /update applies live insert/delete deltas, each installing a new
+// relation version whose indices are derived from the resident ones by
+// copy-on-write patches (full rebuilds only past the compaction
+// crossover), while concurrent queries keep answering from the
+// snapshot they started on.
 //
 // Usage:
 //
 //	cltjd [-addr :8372] [-data graph.txt | -rel R=path ...] [-symmetric]
 //	      [-workers K] [-trie-budget BYTES] [-max-tuples N]
+//	      [-compact-fraction F]
 //
 // Endpoints (see internal/server for the wire format):
 //
 //	POST /query    {"query": "E(x,y), E(y,z), E(x,z)", "mode": "count"}
-//	GET  /stats    engine-lifetime counters + registry + dataset inventory
+//	POST /update   {"relation": "E", "inserts": [[7,9]], "deletes": [[1,2]]}
+//	GET  /stats    engine-lifetime counters + registry + versions + inventory
 //	GET  /healthz  liveness probe
 //
 // Example:
 //
 //	cltjd -data graph.txt &
 //	curl -s localhost:8372/query -d '{"query": "E(x,y), E(y,z), E(x,z)"}'
+//	curl -s localhost:8372/update -d '{"relation": "E", "inserts": [[7, 9]]}'
 package main
 
 import (
@@ -50,6 +58,7 @@ func main() {
 	workersFlag := flag.Int("workers", 0, "default per-query worker goroutines (0 = one per core)")
 	budgetFlag := flag.Int64("trie-budget", 0, "resident trie byte budget shared across queries (0 = unbounded)")
 	maxTuples := flag.Int("max-tuples", server.DefaultMaxTuples, "default cap on tuples returned by eval responses")
+	compactFlag := flag.Float64("compact-fraction", 0, "patch-vs-rebuild crossover as a fraction of the base relation size (0 = default)")
 	flag.Parse()
 
 	db, _, err := dataset.LoadDB(rels, *dataFlag, *symFlag)
@@ -58,13 +67,14 @@ func main() {
 	}
 
 	engine := server.NewEngine(db, server.Config{
-		Workers:    *workersFlag,
-		TrieBudget: *budgetFlag,
-		MaxTuples:  *maxTuples,
+		Workers:         *workersFlag,
+		TrieBudget:      *budgetFlag,
+		MaxTuples:       *maxTuples,
+		CompactFraction: *compactFlag,
 	})
 	for _, info := range engine.Stats().Relations {
 		log.Printf("relation %s: %d tuples (arity %d)", info.Name, info.Tuples, info.Arity)
 	}
-	log.Printf("cltjd listening on %s (POST /query, GET /stats, GET /healthz)", *addr)
+	log.Printf("cltjd listening on %s (POST /query, POST /update, GET /stats, GET /healthz)", *addr)
 	log.Fatalln("cltjd:", http.ListenAndServe(*addr, server.NewHandler(engine)))
 }

@@ -220,6 +220,7 @@ func Experiments() []Experiment {
 		{"E10 (ablation)", Ablation},
 		{"E11 (parallel)", ParallelSpeedup},
 		{"E12 (service)", ServiceThroughput},
+		{"E13 (updates)", IncrementalUpdates},
 	}
 }
 

@@ -45,6 +45,15 @@ type Instance struct {
 // depend on nothing query-specific and are safe to share. Implementations
 // must be safe for concurrent use and must return tries with no default
 // counter sink (per-run iterators attach their own accounting).
+//
+// Relation versions thread through this interface by pointer identity:
+// every relation.Store delta installs a fresh immutable *Relation, so
+// the rel argument names one exact (relation, version) pair and a
+// source can never serve a stale index for updated data. A delta-aware
+// source (trie.Registry with Observed lineage) may satisfy the request
+// with a copy-on-write patch of the previous version's index; the
+// returned trie then accounts the derivation as TriePatches rather
+// than TrieBuilds, and behaves identically under iteration.
 type TrieSource interface {
 	Trie(rel *relation.Relation, perm []int, c *stats.Counters) (*trie.Trie, error)
 }

@@ -12,6 +12,7 @@ package server
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,37 +41,113 @@ type Config struct {
 	// request does not set its own limit (0: DefaultMaxTuples). The
 	// count is always exact; only the sample is capped.
 	MaxTuples int
+	// CompactFraction overrides the patch-vs-rebuild crossover of the
+	// relation stores (0: relation.DefaultCompactFraction): once a
+	// relation's cumulative delta exceeds this fraction of its base
+	// size, the next version compacts and its indices are rebuilt in
+	// full instead of patched.
+	CompactFraction float64
 }
 
 // DefaultMaxTuples is the eval response cap when neither the request
 // nor the config names one.
 const DefaultMaxTuples = 100
 
-// Engine is a resident query service over one immutable database. All
-// methods are safe for concurrent use; the database must not be mutated
-// after the engine is constructed.
+// Engine is a resident query service over one versioned database. All
+// methods are safe for concurrent use. Relations are mutated only
+// through Update, which installs a new immutable version: every query
+// takes a consistent snapshot of all relations at entry and answers
+// from it, bit-identical to a fresh engine loaded at that snapshot,
+// while updates proceed concurrently.
 type Engine struct {
-	db  *relation.DB
 	reg *trie.Registry
 	cfg Config
 
+	// verMu guards the snapshot swap: the current db, the version
+	// stores, and the epoch tracker move together under it, so a query's
+	// (snapshot, entry epoch) pair is atomic with respect to updates.
+	// It is held only for pointer swaps and epoch bookkeeping — never
+	// across a delta merge — so query admission cannot stall behind a
+	// large update.
+	verMu    sync.Mutex
+	db       *relation.DB
+	stores   map[string]*relation.Store
+	versions map[string]relation.Version // versions installed in db (not merely applied)
+	epochs   epochs
+
+	// updateMu serializes Update calls: the O(n + k) merge runs under it
+	// (outside verMu, concurrently with query admission), and the
+	// version-install step that follows stays ordered with the merge.
+	updateMu sync.Mutex
+
 	life    stats.Locked
 	queries atomic.Int64
+	updates atomic.Int64
 	started time.Time
 }
 
-// NewEngine wraps db in a resident engine. db must not be mutated
-// afterwards — the registry keys cached tries by relation identity.
+// NewEngine wraps db in a resident engine. The db (and its relations)
+// must not be mutated by the caller afterwards — the registry keys
+// cached tries by relation identity and all mutation must go through
+// Update.
 func NewEngine(db *relation.DB, cfg Config) *Engine {
-	e := &Engine{db: db, cfg: cfg, started: time.Now()}
+	e := &Engine{
+		db:       db,
+		cfg:      cfg,
+		started:  time.Now(),
+		stores:   make(map[string]*relation.Store),
+		versions: make(map[string]relation.Version),
+	}
 	if !cfg.DisableReuse {
 		e.reg = trie.NewRegistry(cfg.TrieBudget)
+	}
+	for _, name := range db.Names() {
+		r, err := db.Get(name)
+		if err != nil {
+			continue
+		}
+		st := relation.NewStore(r)
+		if cfg.CompactFraction != 0 {
+			st.SetCompactFraction(cfg.CompactFraction)
+		}
+		e.stores[name] = st
+		e.versions[name] = st.Version()
 	}
 	return e
 }
 
-// DB returns the engine's database.
-func (e *Engine) DB() *relation.DB { return e.db }
+// DB returns the engine's current database snapshot.
+func (e *Engine) DB() *relation.DB {
+	e.verMu.Lock()
+	defer e.verMu.Unlock()
+	return e.db
+}
+
+// snapshot atomically takes the current database and enters the query
+// into the epoch tracker, pinning every relation version it can see.
+func (e *Engine) snapshot() (*relation.DB, uint64) {
+	e.verMu.Lock()
+	defer e.verMu.Unlock()
+	return e.db, e.epochs.enter()
+}
+
+// finish exits the query's epoch and releases any superseded versions
+// whose pins drained with it.
+func (e *Engine) finish(ep uint64) {
+	e.verMu.Lock()
+	reclaim := e.epochs.exit(ep)
+	e.verMu.Unlock()
+	e.release(reclaim)
+}
+
+func (e *Engine) release(rels []*relation.Relation) {
+	if e.reg == nil {
+		return
+	}
+	for _, rel := range rels {
+		e.reg.Release(rel)
+	}
+}
 
 // Registry returns the shared trie registry (nil when reuse is
 // disabled).
@@ -103,6 +180,104 @@ type Request struct {
 	// of the bound values) or "min" (tropical: min over tuples of the
 	// sum of the bound values).
 	Semiring string `json:"semiring,omitempty"`
+}
+
+// UpdateRequest is one mutation submission: a batch of inserts and
+// deletes applied atomically to a single relation (deletes first, then
+// inserts; set semantics, so redundant tuples are ignored).
+type UpdateRequest struct {
+	// Relation names the relation to mutate.
+	Relation string `json:"relation"`
+	// Inserts and Deletes are the delta tuples; each must match the
+	// relation's arity.
+	Inserts [][]int64 `json:"inserts,omitempty"`
+	Deletes [][]int64 `json:"deletes,omitempty"`
+}
+
+// UpdateResult describes the version installed by one Update.
+type UpdateResult struct {
+	// Relation echoes the mutated relation.
+	Relation string `json:"relation"`
+	// Version is the relation's version number after the update.
+	Version uint64 `json:"version"`
+	// Tuples is the relation's cardinality after the update.
+	Tuples int `json:"tuples"`
+	// Applied is false when the delta had no net effect (the version,
+	// and every cached index, is unchanged).
+	Applied bool `json:"applied"`
+	// Compacted reports that the cumulative delta crossed the
+	// patch-vs-rebuild crossover: this version became its own base and
+	// its indices will be rebuilt once instead of patched.
+	Compacted bool `json:"compacted"`
+	// PendingDelta is the cumulative |adds| + |dels| the version carries
+	// relative to its base (0 right after compaction).
+	PendingDelta int `json:"pending_delta"`
+}
+
+// Update applies one delta to a relation and installs the new version:
+// queries that already took their snapshot keep answering from the old
+// version (pinned by epoch tracking until they drain), queries entering
+// afterwards see the new one, and the shared registry derives the new
+// version's indices by copy-on-write patches while the delta stays
+// under the compaction crossover. Safe to call concurrently with
+// queries and other updates.
+func (e *Engine) Update(req UpdateRequest) (*UpdateResult, error) {
+	e.updateMu.Lock()
+	defer e.updateMu.Unlock()
+	st, ok := e.stores[req.Relation]
+	if !ok {
+		return nil, fmt.Errorf("server: no relation %q to update", req.Relation)
+	}
+	// The merge runs outside verMu: queries keep entering against the
+	// old snapshot while it proceeds (stores is never mutated after
+	// construction, and updateMu orders this merge with the install
+	// below).
+	old := st.Version()
+	v, changed, err := st.ApplyDelta(req.Inserts, req.Deletes)
+	if err != nil {
+		return nil, err
+	}
+	var reclaim []*relation.Relation
+	if changed {
+		if e.reg != nil {
+			e.reg.Observe(v)
+		}
+		ndb := relation.NewDB()
+		for _, name := range e.db.Names() {
+			if r, err := e.db.Get(name); err == nil {
+				ndb.Put(r)
+			}
+		}
+		ndb.Put(v.Rel)
+		e.verMu.Lock()
+		e.db = ndb
+		e.versions[req.Relation] = v
+		// Retire what the new version superseded — but never its own
+		// base: the base version's resident indices are the substrate
+		// every copy-on-write patch shares, so they stay until a
+		// compaction replaces the base itself.
+		if old.Rel != v.Base {
+			reclaim = append(reclaim, e.epochs.retire(old.Rel)...)
+		}
+		if old.Base != v.Base && old.Base != old.Rel {
+			reclaim = append(reclaim, e.epochs.retire(old.Base)...)
+		}
+		e.verMu.Unlock()
+	}
+	e.release(reclaim)
+
+	if changed {
+		e.updates.Add(1)
+		e.life.Merge(&stats.Counters{DeltaApplies: 1})
+	}
+	return &UpdateResult{
+		Relation:     req.Relation,
+		Version:      v.Num,
+		Tuples:       v.Rel.Len(),
+		Applied:      changed,
+		Compacted:    changed && !v.Patched(),
+		PendingDelta: v.DeltaSize(),
+	}, nil
 }
 
 // QueryStats is the per-query accounting attached to a Response.
@@ -138,44 +313,86 @@ type Response struct {
 	Stats QueryStats `json:"stats"`
 }
 
-// EngineStats is the merged engine-lifetime view served by GET /stats.
+// EngineStats is the merged engine-lifetime view served by GET /stats:
+// lifetime totals plus the current residency — registry byte usage and
+// evictions, live version counts, and the per-relation version
+// inventory — so operators (and the CI stress gates) can assert on the
+// engine's steady state, not just its history.
 type EngineStats struct {
-	// Queries is the number of completed requests.
+	// Queries is the number of completed requests; Updates the number
+	// of applied (non-no-op) deltas.
 	Queries int64 `json:"queries"`
+	Updates int64 `json:"updates"`
 	// UptimeSeconds measures from engine construction.
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	// Lifetime is the exact fold of every finished query's counters.
+	// Lifetime is the exact fold of every finished query's counters
+	// plus one DeltaApplies per applied update.
 	Lifetime stats.Counters `json:"lifetime"`
-	// Registry describes the shared trie registry (zero when reuse is
-	// disabled).
+	// Registry describes the shared trie registry — current resident
+	// bytes and entries next to lifetime hits/builds/patches/evictions
+	// (zero when reuse is disabled).
 	Registry trie.RegistryStats `json:"registry"`
-	// Relations inventories the loaded dataset.
+	// LiveVersions counts the relation versions currently reachable:
+	// one per relation, plus each patched relation's base version
+	// (kept resident as the patch substrate), plus every superseded
+	// version still pinned by in-flight queries (epoch reclamation
+	// drops those as queries drain).
+	LiveVersions int `json:"live_versions"`
+	// Relations inventories the loaded dataset at its current versions.
 	Relations []RelationInfo `json:"relations"`
 }
 
-// RelationInfo describes one loaded relation.
+// RelationInfo describes one loaded relation at its current version.
 type RelationInfo struct {
 	Name   string `json:"name"`
 	Arity  int    `json:"arity"`
 	Tuples int    `json:"tuples"`
+	// Version is the number of applied deltas since load.
+	Version uint64 `json:"version"`
+	// PendingDelta is the cumulative delta the current version carries
+	// relative to its last compacted base — the size of the
+	// copy-on-write overlay its patched indices pay for.
+	PendingDelta int `json:"pending_delta,omitempty"`
 }
 
 // Stats snapshots the engine-lifetime accounting.
 func (e *Engine) Stats() EngineStats {
 	s := EngineStats{
 		Queries:       e.queries.Load(),
+		Updates:       e.updates.Load(),
 		UptimeSeconds: time.Since(e.started).Seconds(),
 		Lifetime:      e.life.Snapshot(),
 	}
 	if e.reg != nil {
 		s.Registry = e.reg.Stats()
 	}
-	for _, name := range e.db.Names() {
-		r, err := e.db.Get(name)
+	// The installed-versions map (not the live stores) keeps the
+	// inventory consistent with the db snapshot: an update whose merge
+	// has finished but whose install has not yet happened is invisible
+	// to both.
+	e.verMu.Lock()
+	db := e.db
+	s.LiveVersions = e.epochs.pinned()
+	versions := make(map[string]relation.Version, len(e.versions))
+	for name, v := range e.versions {
+		versions[name] = v
+		s.LiveVersions++
+		if v.Patched() {
+			s.LiveVersions++ // the base version backing the patches
+		}
+	}
+	e.verMu.Unlock()
+	for _, name := range db.Names() {
+		r, err := db.Get(name)
 		if err != nil {
 			continue
 		}
-		s.Relations = append(s.Relations, RelationInfo{Name: name, Arity: r.Arity(), Tuples: r.Len()})
+		info := RelationInfo{Name: name, Arity: r.Arity(), Tuples: r.Len()}
+		if v, ok := versions[name]; ok {
+			info.Version = v.Num
+			info.PendingDelta = v.DeltaSize()
+		}
+		s.Relations = append(s.Relations, info)
 	}
 	return s
 }
@@ -214,10 +431,11 @@ func (e *Engine) tries() leapfrog.TrieSource {
 }
 
 // Do executes one request. It is safe to call from any number of
-// goroutines: queries share only the immutable database and the
-// mutex-guarded registry, while plans, CLFTJ caches and counters are
-// private per call, so results are bit-identical to a fresh sequential
-// run of the same query.
+// goroutines, concurrently with Update: the query takes one consistent
+// snapshot of every relation at entry (pinning those versions against
+// reclamation until it finishes), while plans, CLFTJ caches and
+// counters are private per call — so results are bit-identical to a
+// fresh sequential run of the same query against the same snapshot.
 func (e *Engine) Do(req Request) (*Response, error) {
 	start := time.Now()
 	q, err := cq.Parse(req.Query)
@@ -229,8 +447,11 @@ func (e *Engine) Do(req Request) (*Response, error) {
 		return nil, err
 	}
 
+	db, ep := e.snapshot()
+	defer e.finish(ep)
+
 	var c stats.Counters
-	plan, err := core.AutoPlan(q, e.db, core.AutoOptions{Counters: &c, Tries: e.tries()})
+	plan, err := core.AutoPlan(q, db, core.AutoOptions{Counters: &c, Tries: e.tries()})
 	if err != nil {
 		return nil, err
 	}

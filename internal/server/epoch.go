@@ -1,0 +1,77 @@
+package server
+
+import "repro/internal/relation"
+
+// epochs implements the engine's epoch-based reclamation of superseded
+// relation versions. Every query enters at the current epoch; every
+// applied delta retires the previous version at the current epoch and
+// advances it. A retired version's registry indices may be reclaimed
+// only once no in-flight query entered at or before its retirement
+// epoch — until then the version is pinned: queries that took their
+// snapshot before the update must keep answering from it, bit-identical
+// to a fresh engine loaded at that version.
+//
+// epochs carries no lock of its own: the engine calls it under the same
+// mutex that guards the snapshot swap, which is what makes
+// enter-and-snapshot atomic with retire-and-swap.
+type epochs struct {
+	cur      uint64
+	inflight map[uint64]int // entry epoch -> active query count
+	retired  []retiree      // superseded versions not yet reclaimable
+}
+
+type retiree struct {
+	epoch uint64 // epoch at retirement: pinned by queries entered at <= epoch
+	rel   *relation.Relation
+}
+
+// enter registers a query beginning now and returns its entry epoch.
+func (ep *epochs) enter() uint64 {
+	if ep.inflight == nil {
+		ep.inflight = make(map[uint64]int)
+	}
+	ep.inflight[ep.cur]++
+	return ep.cur
+}
+
+// exit unregisters a query and returns any versions whose pins drained.
+func (ep *epochs) exit(e uint64) []*relation.Relation {
+	if ep.inflight[e]--; ep.inflight[e] <= 0 {
+		delete(ep.inflight, e)
+	}
+	return ep.reclaim()
+}
+
+// retire records rel as superseded at the current epoch, advances the
+// epoch, and returns any versions already reclaimable (none in flight).
+func (ep *epochs) retire(rel *relation.Relation) []*relation.Relation {
+	ep.retired = append(ep.retired, retiree{epoch: ep.cur, rel: rel})
+	ep.cur++
+	return ep.reclaim()
+}
+
+// reclaim splits off the retired versions no in-flight query can read:
+// those retired strictly before the oldest in-flight entry epoch.
+func (ep *epochs) reclaim() []*relation.Relation {
+	oldest := ep.cur
+	for e := range ep.inflight {
+		if e < oldest {
+			oldest = e
+		}
+	}
+	var out []*relation.Relation
+	keep := ep.retired[:0]
+	for _, r := range ep.retired {
+		if r.epoch < oldest {
+			out = append(out, r.rel)
+		} else {
+			keep = append(keep, r)
+		}
+	}
+	ep.retired = keep
+	return out
+}
+
+// pinned reports how many superseded versions are still held alive by
+// in-flight queries.
+func (ep *epochs) pinned() int { return len(ep.retired) }

@@ -9,14 +9,19 @@ import (
 // maxRequestBody bounds POST /query bodies (queries are short text).
 const maxRequestBody = 1 << 20
 
+// maxUpdateBody bounds POST /update bodies: delta batches carry tuples,
+// so they get more headroom than query text.
+const maxUpdateBody = 64 << 20
+
 // NewHandler exposes the engine over HTTP/JSON:
 //
 //	POST /query    {"query": "E(x,y), E(y,z), E(x,z)", "mode": "count", ...}
-//	GET  /stats    engine-lifetime counters, registry stats, relation inventory
+//	POST /update   {"relation": "E", "inserts": [[1,2]], "deletes": [[3,4]]}
+//	GET  /stats    engine-lifetime counters, registry stats, versions, inventory
 //	GET  /healthz  liveness probe
 //
-// Request and Response document the /query wire format. Errors are
-// returned as {"error": "..."} with a 4xx status.
+// Request/Response and UpdateRequest/UpdateResult document the wire
+// formats. Errors are returned as {"error": "..."} with a 4xx status.
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
@@ -37,6 +42,25 @@ func NewHandler(e *Engine) http.Handler {
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+			return
+		}
+		var req UpdateRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		res, err := e.Update(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodGet {

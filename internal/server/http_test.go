@@ -139,3 +139,74 @@ func TestHTTPStatsAndHealthz(t *testing.T) {
 		t.Fatalf("healthz = %v", h)
 	}
 }
+
+func TestHTTPUpdateRoundTrip(t *testing.T) {
+	srv, e := newTestServer(t)
+	// Warm, mutate over the wire, and re-query: the count must move and
+	// match a fresh sequential run at the new version.
+	if _, body := postQuery(t, srv, `{"query": "E(x,y), E(y,x)"}`); body["error"] != nil {
+		t.Fatalf("warm query failed: %v", body["error"])
+	}
+
+	resp, err := http.Post(srv.URL+"/update", "application/json",
+		strings.NewReader(`{"relation": "E", "inserts": [[9001, 9002], [9002, 9001]]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var res map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&res); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK || res["applied"] != true || res["version"].(float64) != 1 {
+		t.Fatalf("update response: status %d body %v", resp.StatusCode, res)
+	}
+
+	_, body := postQuery(t, srv, `{"query": "E(x,y), E(y,x)"}`)
+	want := seqCount(t, e.DB(), "E(x,y), E(y,x)")
+	if int64(body["count"].(float64)) != want {
+		t.Fatalf("post-update count = %v, fresh run says %d", body["count"], want)
+	}
+
+	// Errors come back as 4xx JSON.
+	for _, bad := range []string{
+		`{"relation": "R", "inserts": [[1,2]]}`,
+		`{"relation": "E", "inserts": [[1]]}`,
+		`{"relation": "E", "bogus": 1}`,
+	} {
+		resp, err := http.Post(srv.URL+"/update", "application/json", strings.NewReader(bad))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("body %q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+	getResp, err := http.Get(srv.URL + "/update")
+	if err != nil {
+		t.Fatal(err)
+	}
+	getResp.Body.Close()
+	if getResp.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /update: status %d, want 405", getResp.StatusCode)
+	}
+
+	// /stats surfaces the update and version accounting.
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var stats map[string]any
+	if err := json.NewDecoder(sresp.Body).Decode(&stats); err != nil {
+		t.Fatal(err)
+	}
+	if stats["updates"].(float64) != 1 || stats["live_versions"] == nil {
+		t.Fatalf("stats missing update accounting: %v", stats)
+	}
+	reg, ok := stats["registry"].(map[string]any)
+	if !ok || reg["bytes"] == nil || reg["evictions"] == nil || reg["patches"] == nil {
+		t.Fatalf("stats registry lacks residency fields: %v", stats["registry"])
+	}
+}

@@ -44,6 +44,14 @@ type Counters struct {
 	// warm answers a repeated query with TrieBuilds == 0: every index is
 	// served from the shared registry instead of being rebuilt.
 	TrieBuilds int64
+	// TriePatches counts incremental trie derivations: a resident base
+	// index extended with a copy-on-write delta overlay instead of being
+	// rebuilt from scratch. Under live updates a warm engine's steady
+	// state is TrieBuilds == 0 with TriePatches tracking the delta rate.
+	TriePatches int64
+	// DeltaApplies counts relation-version transitions (Store.ApplyDelta
+	// calls that changed the relation) performed by this counter's owner.
+	DeltaApplies int64
 }
 
 // Total returns the total number of memory accesses of all kinds.
@@ -75,6 +83,8 @@ func (c *Counters) Add(o *Counters) {
 	c.CacheInserts += o.CacheInserts
 	c.CacheEvictions += o.CacheEvictions
 	c.TrieBuilds += o.TrieBuilds
+	c.TriePatches += o.TriePatches
+	c.DeltaApplies += o.DeltaApplies
 }
 
 // Merge folds the per-worker counters ws into c, in order. It is the
@@ -102,6 +112,6 @@ func (c *Counters) HitRate() float64 {
 
 // String renders the counters compactly for logs and experiment tables.
 func (c *Counters) String() string {
-	return fmt.Sprintf("trie=%d hash=%d tuple=%d total=%d hits=%d misses=%d builds=%d",
-		c.TrieAccesses, c.HashAccesses, c.TupleAccesses, c.Total(), c.CacheHits, c.CacheMisses, c.TrieBuilds)
+	return fmt.Sprintf("trie=%d hash=%d tuple=%d total=%d hits=%d misses=%d builds=%d patches=%d",
+		c.TrieAccesses, c.HashAccesses, c.TupleAccesses, c.Total(), c.CacheHits, c.CacheMisses, c.TrieBuilds, c.TriePatches)
 }

@@ -1,0 +1,216 @@
+package trie
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+// enumerate walks the trie depth-first through the public iterator API
+// and returns every tuple, in order.
+func enumerate(t *Trie) [][]int64 {
+	var out [][]int64
+	if t.Arity() == 0 {
+		return out
+	}
+	tup := make([]int64, t.Arity())
+	it := t.NewIterator()
+	var walk func(d int)
+	walk = func(d int) {
+		it.Open()
+		for !it.AtEnd() {
+			tup[d] = it.Key()
+			if d == t.Arity()-1 {
+				out = append(out, append([]int64(nil), tup...))
+			} else {
+				walk(d + 1)
+			}
+			it.Next()
+		}
+		it.Up()
+	}
+	walk(0)
+	return out
+}
+
+func equalTuples(a, b [][]int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if relation.CompareTuples(a[i], b[i]) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// patchOf builds the patched trie for newRel relative to base (both
+// unpermuted), mimicking what the registry derives from Store lineage.
+func patchOf(t *testing.T, base, newRel *relation.Relation, c *stats.Counters) *Trie {
+	t.Helper()
+	bt := Build(base, nil)
+	pt, err := BuildPatched(bt, newRel.Subtract(base), base.Subtract(newRel), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pt
+}
+
+func TestPatchedTrieEnumerates(t *testing.T) {
+	base := relation.MustNew("E", 2, [][]int64{
+		{1, 2}, {1, 4}, {2, 3}, {3, 1}, {3, 5}, {5, 5},
+	})
+	newRel := relation.MustNew("E", 2, [][]int64{
+		{1, 3}, {1, 4}, {2, 3}, {3, 5}, {4, 1}, {5, 5}, {5, 6},
+	}) // deletes (1,2),(3,1); inserts (1,3),(4,1),(5,6)
+
+	var c stats.Counters
+	pt := patchOf(t, base, newRel, &c)
+	if !pt.Patched() {
+		t.Fatal("patched trie does not report Patched")
+	}
+	if c.TriePatches != 1 {
+		t.Fatalf("TriePatches = %d, want 1", c.TriePatches)
+	}
+	want := enumerate(Build(newRel, nil))
+	got := enumerate(pt)
+	if !equalTuples(got, want) {
+		t.Fatalf("patched enumeration:\n got %v\nwant %v", got, want)
+	}
+	if pt.PatchBytes() <= 0 || pt.MemoryBytes() <= pt.PatchBytes() {
+		t.Fatalf("byte accounting: patch=%d total=%d", pt.PatchBytes(), pt.MemoryBytes())
+	}
+}
+
+func TestPatchedTrieWholeNodeDeleted(t *testing.T) {
+	// Deleting every tuple under root value 1 must hide the root node
+	// itself, including when a new tuple re-creates the value via the
+	// overlay.
+	base := relation.MustNew("E", 2, [][]int64{{1, 2}, {1, 3}, {2, 2}})
+	for _, tc := range []struct {
+		name   string
+		tuples [][]int64
+	}{
+		{"drop-node", [][]int64{{2, 2}}},
+		{"reinsert-value", [][]int64{{1, 9}, {2, 2}}},
+		{"empty", nil},
+	} {
+		newRel := relation.MustNew("E", 2, tc.tuples)
+		pt := patchOf(t, base, newRel, nil)
+		want := enumerate(Build(newRel, nil))
+		got := enumerate(pt)
+		if !equalTuples(got, want) {
+			t.Fatalf("%s:\n got %v\nwant %v", tc.name, got, want)
+		}
+	}
+}
+
+func TestPatchedTrieErrors(t *testing.T) {
+	base := relation.MustNew("E", 2, [][]int64{{1, 2}})
+	bt := Build(base, nil)
+	empty := relation.MustNew("E", 2, nil)
+
+	// Deleting a tuple the base does not hold is a lineage violation.
+	if _, err := BuildPatched(bt, empty, relation.MustNew("E", 2, [][]int64{{9, 9}}), nil); err == nil {
+		t.Fatal("missing delete accepted")
+	}
+	// Patches do not stack.
+	pt, err := BuildPatched(bt, relation.MustNew("E", 2, [][]int64{{2, 2}}), empty, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildPatched(pt, empty, empty, nil); err == nil {
+		t.Fatal("patch of a patch accepted")
+	}
+	// Arity mismatches are rejected.
+	if _, err := BuildPatched(bt, relation.MustNew("E", 3, nil), empty, nil); err == nil {
+		t.Fatal("arity mismatch accepted")
+	}
+}
+
+// TestPatchedTrieLockstepSeeks drives a patched trie and a fresh build
+// of the same relation through an identical randomized Open/Next/SeekGE
+// walk; every observation (AtEnd, Key) must match exactly.
+func TestPatchedTrieLockstepSeeks(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for round := 0; round < 60; round++ {
+		arity := 2 + rng.Intn(2)
+		dom := int64(3 + rng.Intn(6))
+		randRel := func(n int) *relation.Relation {
+			b := relation.NewBuilder("E", arity)
+			tup := make([]int64, arity)
+			for i := 0; i < n; i++ {
+				for j := range tup {
+					tup[j] = rng.Int63n(dom)
+				}
+				b.Add(tup...)
+			}
+			return b.Build()
+		}
+		base := randRel(8 + rng.Intn(30))
+		// Mutate: delete a random subset, insert fresh tuples.
+		var dels [][]int64
+		for _, tup := range base.Tuples() {
+			if rng.Intn(3) == 0 {
+				dels = append(dels, tup)
+			}
+		}
+		ins := randRel(rng.Intn(10)).Tuples()
+		cur := base
+		for _, d := range dels {
+			cur = cur.Subtract(relation.MustNew("E", arity, [][]int64{d}))
+		}
+		cur = cur.Union(relation.MustNew("E", arity, ins))
+
+		pt := patchOf(t, base, cur, nil)
+		ft := Build(cur, nil)
+
+		pit, fit := pt.NewIterator(), ft.NewIterator()
+		var walk func(d int)
+		fail := false
+		walk = func(d int) {
+			if fail {
+				return
+			}
+			pit.Open()
+			fit.Open()
+			for {
+				if rng.Intn(4) == 0 && !fit.AtEnd() {
+					v := rng.Int63n(dom + 1)
+					if v >= fit.Key() { // forward-only seek contract
+						pit.SeekGE(v)
+						fit.SeekGE(v)
+					}
+				}
+				pe, fe := pit.AtEnd(), fit.AtEnd()
+				if pe != fe {
+					t.Errorf("round %d depth %d: AtEnd %v vs fresh %v", round, d, pe, fe)
+					fail = true
+				}
+				if fail || fe {
+					break
+				}
+				pk, fk := pit.Key(), fit.Key()
+				if pk != fk {
+					t.Errorf("round %d depth %d: Key %d vs fresh %d", round, d, pk, fk)
+					fail = true
+					break
+				}
+				if d+1 < arity {
+					walk(d + 1)
+				}
+				pit.Next()
+				fit.Next()
+			}
+			pit.Up()
+			fit.Up()
+		}
+		walk(0)
+		if fail {
+			t.Fatalf("round %d: base=%v cur=%v", round, base.Tuples(), cur.Tuples())
+		}
+	}
+}

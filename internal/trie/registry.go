@@ -24,11 +24,20 @@ import (
 // indices themselves and shared across queries instead of scoped to one.
 // Evicting an entry only drops the registry's reference; executions
 // already holding the trie keep it alive until they finish.
+//
+// Registries are delta-aware: a versioned engine announces each new
+// relation version's lineage with Observe, and a request for a version
+// whose base index is resident is served by a copy-on-write patch
+// (BuildPatched) instead of a full rebuild — O(k·depth) new nodes for a
+// k-tuple delta. Superseded versions stay cached (and charged against
+// the byte budget) until the engine's epoch reclamation calls Release,
+// once no in-flight query can still read them.
 type Registry struct {
 	budget int64 // max resident bytes; 0 = unbounded
 
 	mu      sync.Mutex
 	entries map[regKey]*regEntry
+	lineage map[*relation.Relation]relation.Version
 	bytes   int64
 	head    *regEntry // least recently used (next victim)
 	tail    *regEntry // most recently used
@@ -56,21 +65,27 @@ type regEntry struct {
 // RegistryStats reports a registry's lifetime activity.
 type RegistryStats struct {
 	// Hits and Builds count Get calls served from the registry and Get
-	// calls that had to construct the trie, respectively.
-	Hits   int64
-	Builds int64
-	// Evictions counts entries dropped to respect the byte budget.
-	Evictions int64
+	// calls that had to construct the trie, respectively. Patches is the
+	// subset of Builds answered by a copy-on-write patch of a resident
+	// base index rather than a full construction.
+	Hits    int64 `json:"hits"`
+	Builds  int64 `json:"builds"`
+	Patches int64 `json:"patches"`
+	// Evictions counts entries dropped to respect the byte budget;
+	// Released counts entries dropped by epoch reclamation of
+	// superseded relation versions (Release).
+	Evictions int64 `json:"evictions"`
+	Released  int64 `json:"released"`
 	// Entries and Bytes describe the current residency; Budget echoes
 	// the configured bound (0 = unbounded).
-	Entries int
-	Bytes   int64
-	Budget  int64
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+	Budget  int64 `json:"budget"`
 }
 
 func (s RegistryStats) String() string {
-	return fmt.Sprintf("entries=%d bytes=%d budget=%d hits=%d builds=%d evictions=%d",
-		s.Entries, s.Bytes, s.Budget, s.Hits, s.Builds, s.Evictions)
+	return fmt.Sprintf("entries=%d bytes=%d budget=%d hits=%d builds=%d patches=%d evictions=%d released=%d",
+		s.Entries, s.Bytes, s.Budget, s.Hits, s.Builds, s.Patches, s.Evictions, s.Released)
 }
 
 // NewRegistry returns an empty registry bounded to budgetBytes resident
@@ -82,6 +97,43 @@ func NewRegistry(budgetBytes int64) *Registry {
 	return &Registry{
 		budget:  budgetBytes,
 		entries: make(map[regKey]*regEntry),
+		lineage: make(map[*relation.Relation]relation.Version),
+	}
+}
+
+// Observe records a relation version's lineage so later Trie requests
+// for it can be served by patching the base version's resident index.
+// Compacted versions (empty delta) clear any stale lineage: they are
+// their own base and must be fully built once. Call it after every
+// Store.ApplyDelta, before queries can see the new version.
+func (r *Registry) Observe(v relation.Version) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if v.Patched() {
+		r.lineage[v.Rel] = v
+	} else {
+		delete(r.lineage, v.Rel)
+	}
+}
+
+// Release drops every cached index of rel (any column order) along with
+// its lineage record — the reclamation step once epoch tracking proves
+// no in-flight query can still read that version. Entries still being
+// built are skipped: a build in flight belongs to a query that still
+// pins the version, and that query's exit triggers another Release.
+func (r *Registry) Release(rel *relation.Relation) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	delete(r.lineage, rel)
+	for e := r.head; e != nil; {
+		next := e.next
+		if e.key.rel == rel && e.trie != nil {
+			r.unlink(e)
+			delete(r.entries, e.key)
+			r.bytes -= e.bytes
+			r.stats.Released++
+		}
+		e = next
 	}
 }
 
@@ -108,6 +160,13 @@ func permSig(perm []int) string {
 // accounts into no default sink — executions must attach per-run
 // counters via NewIteratorCounters (the leapfrog runners always do),
 // which is what makes sharing it across goroutines sound.
+//
+// When rel is a version with Observed lineage and the base version's
+// index under the same column order is resident, the miss is served by
+// a copy-on-write patch of the base index (charged as TriePatches, not
+// TrieBuilds) — the steady-state path of a warm engine under live
+// updates. Deltas past the compaction crossover arrive with no lineage
+// and fall back to one full build.
 func (r *Registry) Trie(rel *relation.Relation, perm []int, c *stats.Counters) (*Trie, error) {
 	key := regKey{rel: rel, perm: permSig(perm)}
 
@@ -131,10 +190,10 @@ func (r *Registry) Trie(rel *relation.Relation, perm []int, c *stats.Counters) (
 	r.entries[key] = e
 	r.pushBack(e)
 	r.stats.Builds++
+	lin, patchable := r.lineage[rel]
 	r.mu.Unlock()
 
-	permuted, err := rel.Permute(perm)
-	if err != nil {
+	fail := func(err error) (*Trie, error) {
 		r.mu.Lock()
 		r.unlink(e)
 		delete(r.entries, key)
@@ -143,12 +202,51 @@ func (r *Registry) Trie(rel *relation.Relation, perm []int, c *stats.Counters) (
 		close(e.ready)
 		return nil, err
 	}
-	t := Build(permuted, nil) // nil sink: shared across goroutines
-	if c != nil {
-		c.TrieBuilds++
+
+	var t *Trie
+	patched := false
+	if patchable {
+		// Materialize the base index through the registry itself — a hit
+		// when it is resident, one full (singleflight) build when it is
+		// not, e.g. for a column order first requested after updates
+		// began, or after LRU pressure evicted the base. Either way the
+		// base entry then persists as the substrate later deltas patch
+		// against; without this, such an order would pay a full rebuild
+		// on every delta until the next compaction. The recursion is
+		// depth-one: bases are compacted versions and carry no lineage
+		// (the Patched check below is belt-and-braces: patches never
+		// stack).
+		if base, err := r.Trie(lin.Base, perm, c); err == nil && !base.Patched() {
+			adds, err := lin.Adds.Permute(perm)
+			if err != nil {
+				return fail(err)
+			}
+			dels, err := lin.Dels.Permute(perm)
+			if err != nil {
+				return fail(err)
+			}
+			t, err = BuildPatched(base, adds, dels, c)
+			if err != nil {
+				return fail(err)
+			}
+			patched = true
+		}
+	}
+	if t == nil {
+		permuted, err := rel.Permute(perm)
+		if err != nil {
+			return fail(err)
+		}
+		t = Build(permuted, nil) // nil sink: shared across goroutines
+		if c != nil {
+			c.TrieBuilds++
+		}
 	}
 
 	r.mu.Lock()
+	if patched {
+		r.stats.Patches++
+	}
 	e.trie = t
 	e.bytes = t.MemoryBytes()
 	r.bytes += e.bytes

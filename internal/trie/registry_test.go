@@ -214,3 +214,143 @@ func TestRegistryConcurrentGet(t *testing.T) {
 		}
 	}
 }
+
+// storeVersions advances a Store and returns the version after applying
+// the delta, observed by the registry as an engine would.
+func applyObserved(t *testing.T, s *relation.Store, r *Registry, ins, del [][]int64) relation.Version {
+	t.Helper()
+	v, changed, err := s.ApplyDelta(ins, del)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !changed {
+		t.Fatal("delta was a no-op")
+	}
+	r.Observe(v)
+	return v
+}
+
+func TestRegistryPatchedBuild(t *testing.T) {
+	r := NewRegistry(0)
+	base := regTestRel(t, "E", 60)
+	s := relation.NewStore(base)
+
+	// Warm the base index under both orders.
+	if _, err := r.Trie(base, []int{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Trie(base, []int{1, 0}, nil); err != nil {
+		t.Fatal(err)
+	}
+
+	v := applyObserved(t, s, r, [][]int64{{101, 5}, {102, 6}}, [][]int64{{0, 0}})
+	if !v.Patched() {
+		t.Fatalf("small delta compacted: %+v", v)
+	}
+
+	var c stats.Counters
+	pt, err := r.Trie(v.Rel, []int{1, 0}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TrieBuilds != 0 || c.TriePatches != 1 {
+		t.Fatalf("counters = builds %d patches %d, want 0/1", c.TrieBuilds, c.TriePatches)
+	}
+	if !pt.Patched() {
+		t.Fatal("warm-version index is not a patch")
+	}
+	// The patched index answers exactly like a fresh build.
+	perm, err := v.Rel.Permute([]int{1, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !equalTuples(enumerate(pt), enumerate(Build(perm, nil))) {
+		t.Fatal("patched index enumeration differs from fresh build")
+	}
+	s2 := r.Stats()
+	if s2.Patches != 1 {
+		t.Fatalf("registry stats patches = %d, want 1", s2.Patches)
+	}
+
+	// A column order first requested after updates began finds no
+	// resident base: the registry materializes the base once (a real
+	// build, charged to this query) and still patches — so later deltas
+	// on that order patch with zero further builds instead of paying a
+	// full rebuild per delta.
+	var c2 stats.Counters
+	coldBase := regTestRel(t, "R", 10)
+	s3 := relation.NewStore(coldBase)
+	s3.SetCompactFraction(10)
+	v3 := applyObserved(t, s3, r, [][]int64{{99, 99}}, nil)
+	if _, err := r.Trie(v3.Rel, []int{0, 1}, &c2); err != nil {
+		t.Fatal(err)
+	}
+	if c2.TrieBuilds != 1 || c2.TriePatches != 1 {
+		t.Fatalf("cold-base counters = builds %d patches %d, want 1/1 (base materialized, then patched)", c2.TrieBuilds, c2.TriePatches)
+	}
+	v4 := applyObserved(t, s3, r, [][]int64{{98, 98}}, nil)
+	var c3 stats.Counters
+	if _, err := r.Trie(v4.Rel, []int{0, 1}, &c3); err != nil {
+		t.Fatal(err)
+	}
+	if c3.TrieBuilds != 0 || c3.TriePatches != 1 {
+		t.Fatalf("follow-up delta on cold order: builds %d patches %d, want 0/1", c3.TrieBuilds, c3.TriePatches)
+	}
+}
+
+func TestRegistryCompactedVersionFullBuild(t *testing.T) {
+	r := NewRegistry(0)
+	base := regTestRel(t, "E", 8)
+	s := relation.NewStore(base) // crossover: 2 tuples on an 8-tuple base
+	if _, err := r.Trie(base, []int{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	ins := [][]int64{{50, 1}, {51, 1}, {52, 1}}
+	v := applyObserved(t, s, r, ins, nil)
+	if v.Patched() {
+		t.Fatalf("crossover delta did not compact: %+v", v)
+	}
+	var c stats.Counters
+	ft, err := r.Trie(v.Rel, []int{0, 1}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.TrieBuilds != 1 || c.TriePatches != 0 || ft.Patched() {
+		t.Fatalf("compacted version: builds %d patches %d patched=%v, want full build", c.TrieBuilds, c.TriePatches, ft.Patched())
+	}
+}
+
+func TestRegistryRelease(t *testing.T) {
+	r := NewRegistry(0)
+	base := regTestRel(t, "E", 40)
+	s := relation.NewStore(base)
+	if _, err := r.Trie(base, []int{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	v := applyObserved(t, s, r, [][]int64{{90, 90}}, nil)
+	if _, err := r.Trie(v.Rel, []int{0, 1}, nil); err != nil {
+		t.Fatal(err)
+	}
+	before := r.Stats()
+	if before.Entries != 2 {
+		t.Fatalf("entries = %d, want 2", before.Entries)
+	}
+
+	r.Release(base)
+	after := r.Stats()
+	if after.Entries != 1 || after.Released != 1 {
+		t.Fatalf("after release: %+v, want entries=1 released=1", after)
+	}
+	if after.Bytes >= before.Bytes {
+		t.Fatalf("release did not shrink bytes: %d -> %d", before.Bytes, after.Bytes)
+	}
+	// The surviving version still answers (its patch holds the base
+	// arrays alive even though the registry dropped its reference).
+	var c stats.Counters
+	if _, err := r.Trie(v.Rel, []int{0, 1}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.TrieBuilds+c.TriePatches != 0 {
+		t.Fatal("released base evicted the surviving version's entry")
+	}
+}

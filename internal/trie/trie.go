@@ -30,10 +30,16 @@ type level struct {
 
 // Trie is an immutable trie over a sorted relation. Depth d corresponds to
 // relation column d (after any permutation applied by the caller).
+//
+// A trie is either fully materialized (patch == nil) or a copy-on-write
+// patch over a shared base (see BuildPatched): levels then aliases the
+// base trie's arrays and patch carries the insert overlay and deleted
+// base nodes that iterators merge on the fly.
 type Trie struct {
 	arity  int
 	levels []level
 	c      *stats.Counters
+	patch  *patchSet // nil for fully materialized tries
 }
 
 // Build constructs a trie over the relation. The relation must already be
@@ -92,8 +98,17 @@ func Build(r *relation.Relation, counters *stats.Counters) *Trie {
 // Arity returns the trie depth (number of levels).
 func (t *Trie) Arity() int { return t.arity }
 
-// Len returns the number of nodes at depth d.
-func (t *Trie) Len(d int) int { return len(t.levels[d].vals) }
+// Len returns the number of nodes at depth d. For patched tries it is
+// an estimate (base + overlay − dead): a value present in both the base
+// and the overlay under the same prefix counts twice. The estimator
+// consumers (order cost, fanout) tolerate this.
+func (t *Trie) Len(d int) int {
+	n := len(t.levels[d].vals)
+	if t.patch != nil {
+		n += len(t.patch.adds[d].vals) - len(t.patch.dead[d])
+	}
+	return n
+}
 
 // Counters returns the accounting sink (possibly nil).
 func (t *Trie) Counters() *stats.Counters { return t.c }
@@ -101,12 +116,42 @@ func (t *Trie) Counters() *stats.Counters { return t.c }
 // MemoryBytes estimates the trie's resident size: 8 bytes per value
 // cell plus 4 per child offset. The paper's premise is that LFTJ's only
 // significant memory is these indices; the estimate quantifies it next
-// to the cache sizes reported by the engines.
+// to the cache sizes reported by the engines. A patched trie reports
+// the bytes it keeps alive — the shared base arrays plus its own
+// overlay and dead sets — so a byte budget charging both the base and
+// the patch double-counts the shared part, erring on the safe side.
 func (t *Trie) MemoryBytes() int64 {
 	var b int64
 	for d := range t.levels {
 		b += 8 * int64(len(t.levels[d].vals))
 		b += 4 * int64(len(t.levels[d].start))
+	}
+	if t.patch != nil {
+		for d := range t.patch.adds {
+			b += 8 * int64(len(t.patch.adds[d].vals))
+			b += 4 * int64(len(t.patch.adds[d].start))
+		}
+		for d := range t.patch.dead {
+			b += 8 * int64(len(t.patch.dead[d]))
+		}
+	}
+	return b
+}
+
+// PatchBytes reports the bytes owned by the patch alone (0 for fully
+// materialized tries) — the marginal cost of keeping this version
+// resident next to its base.
+func (t *Trie) PatchBytes() int64 {
+	if t.patch == nil {
+		return 0
+	}
+	var b int64
+	for d := range t.patch.adds {
+		b += 8 * int64(len(t.patch.adds[d].vals))
+		b += 4 * int64(len(t.patch.adds[d].start))
+	}
+	for d := range t.patch.dead {
+		b += 8 * int64(len(t.patch.dead[d]))
 	}
 	return b
 }
@@ -114,10 +159,10 @@ func (t *Trie) MemoryBytes() int64 {
 // Fanout returns the average number of children per node at depth d
 // (|level d+1| / |level d|), used by the order-cost estimator.
 func (t *Trie) Fanout(d int) float64 {
-	if d+1 >= t.arity || len(t.levels[d].vals) == 0 {
+	if d+1 >= t.arity || t.Len(d) == 0 {
 		return 1
 	}
-	return float64(len(t.levels[d+1].vals)) / float64(len(t.levels[d].vals))
+	return float64(t.Len(d+1)) / float64(t.Len(d))
 }
 
 // Iterator is a positioned cursor over a trie implementing the LFTJ trie
@@ -127,13 +172,20 @@ func (t *Trie) Fanout(d int) float64 {
 //
 // The iterator starts at the virtual root (depth -1); Open must be called
 // before the level-0 operations.
+//
+// Over a patched trie (BuildPatched) the same interface is served by an
+// on-the-fly two-way merge: a base cursor that skips dead nodes and an
+// overlay cursor over the inserted tuples, with Key/Next/Seek taking
+// the minimum side. The base cursor position is kept dead-skipped as an
+// invariant after every positioning operation.
 type Iterator struct {
 	t     *Trie
 	c     *stats.Counters // accounting sink (defaults to the trie's)
 	depth int
-	lo    []int32 // sibling range per depth
-	hi    []int32
-	pos   []int32
+	hi    []int32 // base sibling range end per depth
+	pos   []int32 // base cursor per depth (positions never move backwards)
+	ahi   []int32 // overlay sibling range end per depth (patched tries only)
+	apos  []int32
 }
 
 // NewIterator returns an iterator at the virtual root, accounting into
@@ -146,14 +198,18 @@ func (t *Trie) NewIterator() *Iterator { return t.NewIteratorCounters(t.c) }
 // private Counters (the trie's own sink is not goroutine-safe). c may be
 // nil to disable accounting for this cursor.
 func (t *Trie) NewIteratorCounters(c *stats.Counters) *Iterator {
-	return &Iterator{
+	it := &Iterator{
 		t:     t,
 		c:     c,
 		depth: -1,
-		lo:    make([]int32, t.arity),
 		hi:    make([]int32, t.arity),
 		pos:   make([]int32, t.arity),
 	}
+	if t.patch != nil {
+		it.ahi = make([]int32, t.arity)
+		it.apos = make([]int32, t.arity)
+	}
+	return it
 }
 
 // Depth returns the current depth (-1 at the virtual root).
@@ -168,17 +224,47 @@ func (it *Iterator) Open() {
 	if d >= it.t.arity {
 		panic("trie: Open below the deepest level")
 	}
-	var lo, hi int32
+	p := it.t.patch
+	if p == nil {
+		var lo, hi int32
+		if d == 0 {
+			lo, hi = 0, int32(len(it.t.levels[0].vals))
+		} else {
+			lvl := &it.t.levels[it.depth]
+			q := it.pos[it.depth]
+			lo, hi = lvl.start[q], lvl.start[q+1]
+			it.account(2)
+		}
+		it.depth = d
+		it.hi[d], it.pos[d] = hi, lo
+		it.account(1)
+		return
+	}
+	// Patched: descend each side that carries the current key. A side
+	// that does not gets an empty child range and sits AtEnd below.
+	var blo, bhi, alo, ahi int32
 	if d == 0 {
-		lo, hi = 0, int32(len(it.t.levels[0].vals))
+		bhi = int32(len(it.t.levels[0].vals))
+		ahi = int32(len(p.adds[0].vals))
 	} else {
-		lvl := &it.t.levels[it.depth]
-		p := it.pos[it.depth]
-		lo, hi = lvl.start[p], lvl.start[p+1]
-		it.account(2)
+		cur := it.mergedKey()
+		if bv, ok := it.baseKey(); ok && bv == cur {
+			lvl := &it.t.levels[it.depth]
+			q := it.pos[it.depth]
+			blo, bhi = lvl.start[q], lvl.start[q+1]
+			it.account(2)
+		}
+		if av, ok := it.overlayKey(); ok && av == cur {
+			lvl := &p.adds[it.depth]
+			q := it.apos[it.depth]
+			alo, ahi = lvl.start[q], lvl.start[q+1]
+			it.account(2)
+		}
 	}
 	it.depth = d
-	it.lo[d], it.hi[d], it.pos[d] = lo, hi, lo
+	it.hi[d], it.pos[d] = bhi, blo
+	it.ahi[d], it.apos[d] = ahi, alo
+	it.skipDead(d)
 	it.account(1)
 }
 
@@ -192,19 +278,40 @@ func (it *Iterator) Up() {
 
 // AtEnd reports whether the iterator moved past the last sibling.
 func (it *Iterator) AtEnd() bool {
-	return it.pos[it.depth] >= it.hi[it.depth]
+	d := it.depth
+	if it.t.patch == nil {
+		return it.pos[d] >= it.hi[d]
+	}
+	return it.pos[d] >= it.hi[d] && it.apos[d] >= it.ahi[d]
 }
 
 // Key returns the value at the current position. It must not be called
 // when AtEnd.
 func (it *Iterator) Key() int64 {
 	it.account(1)
-	return it.t.levels[it.depth].vals[it.pos[it.depth]]
+	if it.t.patch == nil {
+		return it.t.levels[it.depth].vals[it.pos[it.depth]]
+	}
+	return it.mergedKey()
 }
 
 // Next advances to the next sibling.
 func (it *Iterator) Next() {
-	it.pos[it.depth]++
+	d := it.depth
+	if it.t.patch == nil {
+		it.pos[d]++
+		it.account(1)
+		return
+	}
+	// Advance every side positioned on the current key.
+	cur := it.mergedKey()
+	if bv, ok := it.baseKey(); ok && bv == cur {
+		it.pos[d]++
+		it.skipDead(d)
+	}
+	if av, ok := it.overlayKey(); ok && av == cur {
+		it.apos[d]++
+	}
 	it.account(1)
 }
 
@@ -213,24 +320,89 @@ func (it *Iterator) Next() {
 // over the remaining sibling range; each probe counts as one access.
 func (it *Iterator) SeekGE(v int64) {
 	d := it.depth
-	lvl := &it.t.levels[d]
-	lo, hi := it.pos[d], it.hi[d]
+	it.pos[d] = it.seekLevel(&it.t.levels[d], it.pos[d], it.hi[d], v)
+	if it.t.patch == nil {
+		return
+	}
+	it.skipDead(d)
+	it.apos[d] = it.seekLevel(&it.t.patch.adds[d], it.apos[d], it.ahi[d], v)
+}
+
+// seekLevel advances a cursor within one level's sibling range [pos,hi)
+// to the least entry >= v, charging one access per probe.
+func (it *Iterator) seekLevel(lvl *level, pos, hi int32, v int64) int32 {
 	// Galloping start: check the current position first — LFTJ seeks are
 	// frequently short.
-	if lo < hi {
+	if pos < hi {
 		it.account(1)
-		if lvl.vals[lo] >= v {
-			return
+		if lvl.vals[pos] >= v {
+			return pos
 		}
-		lo++
+		pos++
 	}
 	probes := 0
-	i := int32(sort.Search(int(hi-lo), func(i int) bool {
+	i := int32(sort.Search(int(hi-pos), func(i int) bool {
 		probes++
-		return lvl.vals[lo+int32(i)] >= v
+		return lvl.vals[pos+int32(i)] >= v
 	}))
 	it.account(int64(probes))
-	it.pos[d] = lo + i
+	return pos + i
+}
+
+// baseKey returns the base cursor's key at the current depth, if the
+// base side is not exhausted. The base position is dead-skipped by
+// invariant, so a live position always carries a surviving node.
+func (it *Iterator) baseKey() (int64, bool) {
+	d := it.depth
+	if it.pos[d] >= it.hi[d] {
+		return 0, false
+	}
+	return it.t.levels[d].vals[it.pos[d]], true
+}
+
+// overlayKey returns the overlay cursor's key at the current depth, if
+// the overlay side is not exhausted.
+func (it *Iterator) overlayKey() (int64, bool) {
+	d := it.depth
+	if it.apos[d] >= it.ahi[d] {
+		return 0, false
+	}
+	return it.t.patch.adds[d].vals[it.apos[d]], true
+}
+
+// mergedKey is the patched-trie current key: the minimum of the live
+// sides. It must not be called when AtEnd.
+func (it *Iterator) mergedKey() int64 {
+	bv, bok := it.baseKey()
+	av, aok := it.overlayKey()
+	switch {
+	case bok && aok:
+		if av < bv {
+			return av
+		}
+		return bv
+	case bok:
+		return bv
+	case aok:
+		return av
+	}
+	panic("trie: Key called at end")
+}
+
+// skipDead restores the base-cursor invariant at depth d: the position
+// never rests on a node whose every leaf was deleted.
+func (it *Iterator) skipDead(d int) {
+	dead := it.t.patch.dead[d]
+	if len(dead) == 0 {
+		return
+	}
+	for it.pos[d] < it.hi[d] {
+		if _, gone := dead[it.pos[d]]; !gone {
+			return
+		}
+		it.pos[d]++
+		it.account(1)
+	}
 }
 
 // account adds n trie accesses to the iterator's counters, if any.
