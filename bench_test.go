@@ -43,6 +43,7 @@ func BenchmarkE9Figure13(b *testing.B)       { benchExperiment(b, bench.Figure13
 func BenchmarkE11Parallel(b *testing.B)      { benchExperiment(b, bench.ParallelSpeedup) }
 func BenchmarkE12Service(b *testing.B)       { benchExperiment(b, bench.ServiceThroughput) }
 func BenchmarkE13Updates(b *testing.B)       { benchExperiment(b, bench.IncrementalUpdates) }
+func BenchmarkE14Prepared(b *testing.B)      { benchExperiment(b, bench.PreparedStatements) }
 
 // Per-engine micro-benchmarks: a fixed skewed graph and query so the
 // three algorithms' costs are directly comparable in one `-bench` run.

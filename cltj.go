@@ -12,12 +12,19 @@
 //	n, err = cltj.CountLFTJ(q, db, nil)                  // vanilla LFTJ
 //	n, err = cltj.CountYTD(q, db, nil)                   // Yannakakis+TD
 //
+//	stmt, err := cltj.Prepare(q, db, cltj.Options{})     // compile once ...
+//	n, err = stmt.Count(ctx)                             // ... run many, cancellable
+//	for row, err := range stmt.Rows(ctx) { ... }         // ... or stream the tuples
+//
 // Lower-level control (explicit TDs, orders, policies, counters) lives in
 // the internal packages re-exported through the aliases below; see
 // DESIGN.md for the system inventory.
 package cltj
 
 import (
+	"context"
+	"iter"
+
 	"repro/internal/core"
 	"repro/internal/cq"
 	"repro/internal/factorized"
@@ -75,6 +82,17 @@ type (
 	EngineUpdateResult = server.UpdateResult
 	// EngineStats is the engine-lifetime view served by GET /stats.
 	EngineStats = server.EngineStats
+	// EngineStmt is a prepared statement over an Engine: one query
+	// parsed and compiled once through the engine's plan cache, with
+	// ctx-aware Do/CountCtx/Rows executions (Engine.Prepare). The
+	// engine variant follows live updates — execution always runs
+	// against the current snapshot, recompiling only when the touched
+	// relations changed version. For a static database without an
+	// Engine, see Prepare.
+	EngineStmt = server.Stmt
+	// PlanCacheStats reports the engine plan cache's hit/miss/eviction
+	// history and residency (EngineStats.Plans).
+	PlanCacheStats = server.PlanCacheStats
 	// RelationStore is a mutable, versioned relation: immutable
 	// snapshots advanced by ApplyDelta, with base/delta lineage that
 	// lets trie registries patch indices instead of rebuilding them.
@@ -249,17 +267,89 @@ func Count(q *Query, db *DB, opts Options) (int64, error) {
 }
 
 // Eval enumerates q(D) with CLFTJ; emit receives assignments aligned
-// with the plan's variable order (reused slice; copy to retain) and may
-// return false to stop. It returns the order used. Eval always streams
-// sequentially; use Plan.EvalParallel for a sharded evaluation that
-// buffers and merges per-worker results.
+// with the plan's variable order and may return false to stop. It
+// returns the order used. Options.Workers is honored exactly as in
+// Count: the default (0) shards over one worker per core, which
+// materializes and merges per-worker results before emitting (emitted
+// slices are then fresh and may be retained); Workers: 1 forces the
+// sequential path, which streams tuples as the scan finds them but
+// reuses the emit slice (copy to retain). For a streaming iterator
+// with cancellation, see Prepare and Stmt.Rows.
 func Eval(q *Query, db *DB, opts Options, emit func(mu []int64) bool) ([]string, error) {
 	plan, err := NewPlan(q, db, opts)
 	if err != nil {
 		return nil, err
 	}
-	plan.Eval(opts.Policy, emit)
+	plan.EvalParallel(opts.policy(), emit)
 	return plan.Order(), nil
+}
+
+// Prepare compiles q against db once and returns a statement that can
+// be executed any number of times — the paper's build-once/run-many
+// plan contract with a context-aware API on top. For a live, updatable
+// database use Engine.Prepare instead (an EngineStmt follows updates
+// through the engine's plan cache; a Stmt is pinned to db as given).
+func Prepare(q *Query, db *DB, opts Options) (*Stmt, error) {
+	plan, err := NewPlan(q, db, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Stmt{plan: plan, opts: opts}, nil
+}
+
+// Stmt is a prepared query over a static database: parse, TD selection
+// and plan compilation are paid once in Prepare, and each execution
+// runs the compiled plan under the prepare-time options. Concurrent
+// executions are safe when opts.Counters is nil (a shared counters
+// sink would race; give each goroutine its own statement otherwise).
+type Stmt struct {
+	plan *Plan
+	opts Options
+}
+
+// Plan exposes the compiled plan (for Session, EvalFactorized and the
+// other lower-level entry points).
+func (s *Stmt) Plan() *Plan { return s.plan }
+
+// Order returns the plan's variable order; Rows assignments align with
+// it.
+func (s *Stmt) Order() []string { return s.plan.Order() }
+
+// Count evaluates |q(D)|, sharded per the prepare-time Workers option,
+// unwinding cooperatively when ctx is cancelled or times out.
+func (s *Stmt) Count(ctx context.Context) (int64, error) {
+	res, err := s.plan.CountParallelCtx(ctx, s.opts.policy())
+	if err != nil {
+		return 0, err
+	}
+	return res.Count, nil
+}
+
+// Rows streams q(D) one assignment at a time in the plan's variable
+// order; each yielded slice is a fresh copy the consumer may retain.
+// Rows always runs the sequential engine, so the first row arrives
+// before the join finishes, breaking out of the loop stops the scan
+// immediately, and cancelling ctx ends the stream with a final
+// (nil, ctx.Err()) pair after the rows already yielded:
+//
+//	for row, err := range stmt.Rows(ctx) {
+//	    if err != nil { return err }
+//	    use(row)
+//	}
+func (s *Stmt) Rows(ctx context.Context) iter.Seq2[[]int64, error] {
+	return func(yield func([]int64, error) bool) {
+		stopped := false
+		_, err := s.plan.EvalCtx(ctx, s.opts.policy(), func(mu []int64) bool {
+			if !yield(append([]int64(nil), mu...), nil) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !stopped {
+			yield(nil, err)
+		}
+	}
 }
 
 // CountLFTJ evaluates |q(D)| with vanilla LFTJ under the query's natural

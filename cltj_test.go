@@ -1,6 +1,8 @@
 package cltj
 
 import (
+	"context"
+	"errors"
 	"sort"
 	"testing"
 
@@ -87,6 +89,74 @@ func TestFacadeEval(t *testing.T) {
 		if relation.CompareTuples(got[i], want[i]) != 0 {
 			t.Fatalf("tuple %d = %v, want %v", i, got[i], want[i])
 		}
+	}
+}
+
+func TestFacadePrepare(t *testing.T) {
+	db := facadeDB()
+	q := queries.Cycle(4)
+	want, err := naive.Count(q, db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt, err := Prepare(q, db, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmt.Order()) != len(q.Vars()) || stmt.Plan() == nil {
+		t.Fatalf("stmt order %v / plan %v", stmt.Order(), stmt.Plan())
+	}
+
+	// Repeated executions of the one compiled plan.
+	for i := 0; i < 3; i++ {
+		got, err := stmt.Count(context.Background())
+		if err != nil || got != want {
+			t.Fatalf("run %d: Count = %d, %v; want %d", i, got, err, want)
+		}
+	}
+
+	// Rows streams the same result set, one fresh slice per row.
+	var rows int64
+	for row, err := range stmt.Rows(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(row) != len(stmt.Order()) {
+			t.Fatalf("row %v misaligned with order %v", row, stmt.Order())
+		}
+		rows++
+	}
+	if rows != want {
+		t.Fatalf("Rows yielded %d tuples, want %d", rows, want)
+	}
+
+	// Breaking out stops the scan cleanly.
+	seen := 0
+	for _, err := range stmt.Rows(context.Background()) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen++; seen == 2 {
+			break
+		}
+	}
+
+	// A cancelled context surfaces as the final error pair.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ctxErr error
+	for _, err := range stmt.Rows(ctx) {
+		ctxErr = err
+	}
+	if !errors.Is(ctxErr, context.Canceled) {
+		t.Fatalf("cancelled Rows err = %v", ctxErr)
+	}
+	if _, err := stmt.Count(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled Count err = %v", err)
+	}
+
+	if _, err := Prepare(q, NewDB(), Options{}); err == nil {
+		t.Fatal("Prepare against an empty DB must fail")
 	}
 }
 

@@ -5,7 +5,8 @@
 // Usage:
 //
 //	cltj -query 5-cycle -data graph.txt [-algo clftj|lftj|ytd|pairwise]
-//	     [-eval] [-cache N] [-support N] [-workers K] [-symmetric] [-show-td]
+//	     [-eval] [-cache N] [-support N] [-workers K] [-timeout DUR]
+//	     [-symmetric] [-show-td]
 //	cltj -updates deltas.txt ...                      # replay deltas first
 //	cltj -queries workload.txt [-trie-budget BYTES]   # batch over one engine
 //	cltj -serve :8372 [-trie-budget BYTES]            # HTTP/JSON service
@@ -38,6 +39,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -88,6 +90,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheFlag := fs.Int("cache", 0, "CLFTJ cache capacity (0 = unbounded)")
 	supportFlag := fs.Int("support", 0, "CLFTJ support threshold")
 	workersFlag := fs.Int("workers", 1, "worker goroutines for clftj and for lftj counting (0 = one per core, 1 = sequential); other algorithms ignore it; -eval with workers > 1 materializes the full result before printing")
+	timeoutFlag := fs.Duration("timeout", 0, "wall-clock budget covering planning, index build and the join (clftj and lftj; 0 = unlimited): past it the run unwinds cooperatively and cltj exits nonzero")
 	symFlag := fs.Bool("symmetric", false, "treat edges as undirected (add both directions)")
 	showTD := fs.Bool("show-td", false, "print the selected tree decomposition")
 	queriesFlag := fs.String("queries", "", "batch mode: run the workload file (one query per line) against one resident engine")
@@ -134,6 +137,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 			engineWorkers = *workersFlag
 		}
 	})
+	// -timeout bounds one query run; the resident-engine modes take
+	// per-request budgets instead (timeout_ms on each request), so a
+	// global flag there would be silently meaningless — reject it.
+	if *timeoutFlag > 0 && (*serveFlag != "" || *queriesFlag != "") {
+		return fail(fmt.Errorf("-timeout applies to single-query runs; in -serve/-queries modes set timeout_ms per request"))
+	}
 	if *serveFlag != "" {
 		engine := server.NewEngine(db, server.Config{Workers: engineWorkers, TrieBudget: *budgetFlag})
 		fmt.Fprintf(stdout, "cltj service listening on %s (POST /query, POST /update, GET /stats, GET /healthz)\n", *serveFlag)
@@ -157,6 +166,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 	fmt.Fprintf(stdout, "query: %s\n", q)
 
+	// -timeout starts its clock here, so the budget covers plan
+	// selection and index construction as well as the join (a build
+	// that overruns it trips the join's upfront deadline check). The
+	// cooperative cancellation checks live in the trie-join engines,
+	// so only clftj and lftj honor it.
+	ctx := context.Background()
+	if *timeoutFlag > 0 {
+		if *algoFlag != "clftj" && *algoFlag != "lftj" {
+			return fail(fmt.Errorf("-timeout requires -algo clftj or lftj (got %q)", *algoFlag))
+		}
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeoutFlag)
+		defer cancel()
+	}
+
 	var c stats.Counters
 	policy := core.Policy{Capacity: *cacheFlag, SupportThreshold: *supportFlag, Workers: *workersFlag}
 	start := time.Now()
@@ -172,11 +196,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		start = time.Now()
 		if *evalFlag {
-			count = evalSome(stdout, plan.Order(), func(emit func([]int64) bool) {
-				plan.EvalParallel(policy, emit)
+			count, err = evalSome(stdout, plan.Order(), func(emit func([]int64) bool) error {
+				_, err := plan.EvalParallelCtx(ctx, policy, emit)
+				return err
 			})
 		} else {
-			count = plan.CountParallel(policy).Count
+			var res core.CountResult
+			res, err = plan.CountParallelCtx(ctx, policy)
+			count = res.Count
+		}
+		if err != nil {
+			return fail(err)
 		}
 	case "lftj":
 		inst, err := leapfrog.Build(q, db, q.Vars(), &c)
@@ -185,11 +215,14 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}
 		start = time.Now()
 		if *evalFlag {
-			count = evalSome(stdout, inst.Order(), func(emit func([]int64) bool) {
-				leapfrog.Eval(inst, emit)
+			count, err = evalSome(stdout, inst.Order(), func(emit func([]int64) bool) error {
+				return leapfrog.EvalCtx(ctx, inst, emit)
 			})
 		} else {
-			count = leapfrog.ParallelCount(inst, *workersFlag)
+			count, err = leapfrog.ParallelCountCtx(ctx, inst, *workersFlag)
+		}
+		if err != nil {
+			return fail(err)
 		}
 	case "ytd":
 		tree, _ := td.Select(q, td.Options{}, td.DefaultCostConfig(len(q.Vars())))
@@ -201,19 +234,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return fail(err)
 		}
 		if *evalFlag {
-			count = evalSome(stdout, q.Vars(), func(emit func([]int64) bool) { e.Eval(emit) })
+			count, _ = evalSome(stdout, q.Vars(), func(emit func([]int64) bool) error {
+				e.Eval(emit)
+				return nil
+			})
 		} else {
 			count = e.Count()
 		}
 	case "pairwise":
 		if *evalFlag {
-			vars := q.Vars()
-			var evalErr error
-			count = evalSome(stdout, vars, func(emit func([]int64) bool) {
-				evalErr = pairwise.Eval(q, db, &c, emit)
+			var err error
+			count, err = evalSome(stdout, q.Vars(), func(emit func([]int64) bool) error {
+				return pairwise.Eval(q, db, &c, emit)
 			})
-			if evalErr != nil {
-				return fail(evalErr)
+			if err != nil {
+				return fail(err)
 			}
 		} else {
 			res, err := pairwise.Count(q, db, &c)
@@ -400,10 +435,10 @@ func runBatch(db *relation.DB, path string, workers int, budget int64, stdout, s
 }
 
 // evalSome drives an evaluation, printing the first 5 tuples and
-// returning the total.
-func evalSome(stdout io.Writer, order []string, runEval func(emit func([]int64) bool)) int64 {
+// returning the total (and runEval's error, e.g. a timeout).
+func evalSome(stdout io.Writer, order []string, runEval func(emit func([]int64) bool) error) (int64, error) {
 	var n int64
-	runEval(func(mu []int64) bool {
+	err := runEval(func(mu []int64) bool {
 		if n < 5 {
 			parts := make([]string, len(mu))
 			for i, v := range mu {
@@ -417,7 +452,7 @@ func evalSome(stdout io.Writer, order []string, runEval func(emit func([]int64) 
 	if n > 5 {
 		fmt.Fprintf(stdout, "  ... (%d more)\n", n-5)
 	}
-	return n
+	return n, err
 }
 
 func parseQuery(s string) (*cq.Query, error) {

@@ -118,6 +118,61 @@ func TestCLIBadFlag(t *testing.T) {
 	}
 }
 
+func TestCLITimeout(t *testing.T) {
+	// A 1ns budget is expired before the join starts: the deadline
+	// check trips upfront, cltj exits nonzero and names the cause.
+	var stdout, stderr bytes.Buffer
+	if got := run([]string{"-query", "4-cycle", "-workers", "1", "-timeout", "1ns"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("exit = %d, want 1\n%s%s", got, &stdout, &stderr)
+	}
+	if want := "context deadline exceeded"; !bytes.Contains(stderr.Bytes(), []byte(want)) {
+		t.Fatalf("stderr %q missing %q", &stderr, want)
+	}
+
+	// lftj honors it too.
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-algo", "lftj", "-workers", "1", "-timeout", "1ns"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("lftj exit = %d, want 1\n%s%s", got, &stdout, &stderr)
+	}
+
+	// Engines without cancellation hooks reject the flag instead of
+	// silently ignoring it.
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-algo", "ytd", "-timeout", "1s"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("ytd exit = %d, want 1", got)
+	}
+	if want := "-timeout requires"; !bytes.Contains(stderr.Bytes(), []byte(want)) {
+		t.Fatalf("stderr %q missing %q", &stderr, want)
+	}
+
+	// So do the resident-engine modes, whose budget knob is per-request.
+	dir := t.TempDir()
+	workload := filepath.Join(dir, "w.txt")
+	if err := os.WriteFile(workload, []byte("3-clique\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-queries", workload, "-timeout", "1s"}, &stdout, &stderr); got != 1 {
+		t.Fatalf("batch -timeout exit = %d, want 1", got)
+	}
+	if want := "timeout_ms per request"; !bytes.Contains(stderr.Bytes(), []byte(want)) {
+		t.Fatalf("stderr %q missing %q", &stderr, want)
+	}
+
+	// A generous budget changes nothing: the run completes normally.
+	stdout.Reset()
+	stderr.Reset()
+	if got := run([]string{"-query", "3-clique", "-workers", "1", "-timeout", "1m"}, &stdout, &stderr); got != 0 {
+		t.Fatalf("generous timeout exit = %d\n%s%s", got, &stdout, &stderr)
+	}
+	if !bytes.Contains(stdout.Bytes(), []byte("count:")) {
+		t.Fatalf("stdout missing count: %s", &stdout)
+	}
+}
+
 func TestBatchReusesTries(t *testing.T) {
 	dir := t.TempDir()
 	workload := filepath.Join(dir, "w.txt")

@@ -14,14 +14,24 @@
 //
 //	cltjd [-addr :8372] [-data graph.txt | -rel R=path ...] [-symmetric]
 //	      [-workers K] [-trie-budget BYTES] [-max-tuples N]
-//	      [-compact-fraction F]
+//	      [-compact-fraction F] [-plan-cache N] [-max-prepared N] [-drain DUR]
 //
 // Endpoints (see internal/server for the wire format):
 //
-//	POST /query    {"query": "E(x,y), E(y,z), E(x,z)", "mode": "count"}
-//	POST /update   {"relation": "E", "inserts": [[7,9]], "deletes": [[1,2]]}
-//	GET  /stats    engine-lifetime counters + registry + versions + inventory
-//	GET  /healthz  liveness probe
+//	POST   /query        {"query": "E(x,y), E(y,z), E(x,z)", "mode": "count"}
+//	                     ({"stmt": "s1"} executes a prepared statement;
+//	                     "mode": "stream" streams NDJSON rows; "timeout_ms"
+//	                     bounds one query)
+//	POST   /prepare      {"query": "..."} -> {"stmt": "s1"}
+//	DELETE /prepare/{id} close a prepared statement
+//	POST   /update       {"relation": "E", "inserts": [[7,9]], "deletes": [[1,2]]}
+//	GET    /stats        engine-lifetime counters + registry + plan cache + versions
+//	GET    /healthz      liveness probe
+//
+// Queries run under their request contexts: a disconnected client
+// cancels its query, and SIGINT/SIGTERM shuts the daemon down
+// gracefully — in-flight queries drain (bounded by -drain), epoch
+// reclamation proceeds as usual, then the process exits.
 //
 // Example:
 //
@@ -31,10 +41,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"log"
 	"net/http"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"repro/internal/dataset"
 	"repro/internal/server"
@@ -59,6 +75,9 @@ func main() {
 	budgetFlag := flag.Int64("trie-budget", 0, "resident trie byte budget shared across queries (0 = unbounded)")
 	maxTuples := flag.Int("max-tuples", server.DefaultMaxTuples, "default cap on tuples returned by eval responses")
 	compactFlag := flag.Float64("compact-fraction", 0, "patch-vs-rebuild crossover as a fraction of the base relation size (0 = default)")
+	planCacheFlag := flag.Int("plan-cache", 0, "compiled-plan cache capacity in entries (0 = default, negative = disabled)")
+	maxPreparedFlag := flag.Int("max-prepared", 0, "prepared-statement registry cap (0 = default)")
+	drainFlag := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
 	flag.Parse()
 
 	db, _, err := dataset.LoadDB(rels, *dataFlag, *symFlag)
@@ -71,10 +90,41 @@ func main() {
 		TrieBudget:      *budgetFlag,
 		MaxTuples:       *maxTuples,
 		CompactFraction: *compactFlag,
+		PlanCache:       *planCacheFlag,
+		MaxPrepared:     *maxPreparedFlag,
 	})
 	for _, info := range engine.Stats().Relations {
 		log.Printf("relation %s: %d tuples (arity %d)", info.Name, info.Tuples, info.Arity)
 	}
-	log.Printf("cltjd listening on %s (POST /query, POST /update, GET /stats, GET /healthz)", *addr)
-	log.Fatalln("cltjd:", http.ListenAndServe(*addr, server.NewHandler(engine)))
+
+	// Serve until SIGINT/SIGTERM, then shut down gracefully: Shutdown
+	// stops accepting connections and waits for in-flight requests, so
+	// running queries drain normally — their epoch pins release as they
+	// finish, exactly as in steady state (queries that outlive the drain
+	// budget are cancelled through their request contexts when the
+	// server closes their connections).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(engine)}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("cltjd listening on %s (POST /query, POST /prepare, POST /update, GET /stats, GET /healthz)", *addr)
+
+	select {
+	case err := <-errc:
+		log.Fatalln("cltjd:", err)
+	case <-ctx.Done():
+	}
+	stop()
+	log.Printf("cltjd: shutting down (draining in-flight queries for up to %s)", *drainFlag)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drainFlag)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("cltjd: drain incomplete: %v", err)
+		_ = srv.Close()
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Fatalln("cltjd:", err)
+	}
+	log.Printf("cltjd: bye (%d queries served)", engine.Stats().Queries)
 }

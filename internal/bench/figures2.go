@@ -221,6 +221,7 @@ func Experiments() []Experiment {
 		{"E11 (parallel)", ParallelSpeedup},
 		{"E12 (service)", ServiceThroughput},
 		{"E13 (updates)", IncrementalUpdates},
+		{"E14 (prepared)", PreparedStatements},
 	}
 }
 

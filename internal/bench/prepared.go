@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/dataset"
+	"repro/internal/server"
+)
+
+// PreparedStatements (E14) measures what the plan cache amortizes away:
+// per-query latency of repeated short queries with cold planning
+// (plan cache disabled, so every request pays parse + TD selection +
+// plan compilation) versus prepared execution (one Engine.Prepare, then
+// plan-cache hits). Short pattern queries over modest data are exactly
+// the regime where planning time rivals execution time, so the spread
+// between the two arms is the service-side payoff of the prepared
+// API. The trie registry stays on in both arms — this experiment
+// isolates planning, not indexing (E12 covers that).
+func PreparedStatements(cfg Config) *Table {
+	repeats := 40
+	var g *dataset.Graph
+	if cfg.Quick {
+		g = dataset.TriadicPA(120, 3, 0.4, 7321)
+		repeats = 12
+	} else {
+		g = dataset.TriadicPA(300, 4, 0.4, 7321)
+	}
+	db := g.DB(false)
+
+	queries := []struct {
+		name string
+		text string
+	}{
+		{"triangle", "E(x,y), E(y,z), E(x,z)"},
+		{"4-path", "E(a,b), E(b,c), E(c,d)"},
+		{"4-cycle", "E(a,b), E(b,c), E(c,d), E(d,a)"},
+	}
+
+	t := &Table{
+		ID:     "E14 (prepared)",
+		Title:  "prepared statements: repeat-query latency, cold planning vs plan-cache hits",
+		Header: []string{"query", "arm", "runs", "avg µs/query", "plan hits", "plan misses"},
+	}
+
+	for _, q := range queries {
+		// Cold arm: plan caching disabled, every Do compiles. One warmup
+		// run per arm takes trie construction out of both measurements.
+		cold := server.NewEngine(db, server.Config{Workers: 1, PlanCache: -1})
+		if _, err := cold.Do(server.Request{Query: q.text}); err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("ERROR %s cold: %v", q.name, err))
+			continue
+		}
+		start := time.Now()
+		for i := 0; i < repeats; i++ {
+			if _, err := cold.Do(server.Request{Query: q.text}); err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("ERROR %s cold: %v", q.name, err))
+				break
+			}
+		}
+		coldAvg := float64(time.Since(start).Microseconds()) / float64(repeats)
+		cs := cold.Stats()
+		t.Rows = append(t.Rows, []string{
+			q.name, "cold", fmt.Sprintf("%d", repeats),
+			fmt.Sprintf("%.0f", coldAvg), itoa64(cs.Plans.Hits), itoa64(cs.Plans.Misses),
+		})
+
+		// Prepared arm: compile once, execute many.
+		warm := server.NewEngine(db, server.Config{Workers: 1})
+		stmt, err := warm.Prepare(server.Request{Query: q.text})
+		if err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("ERROR %s prepare: %v", q.name, err))
+			continue
+		}
+		if _, err := stmt.Do(context.Background(), server.Request{}); err != nil {
+			t.Notes = append(t.Notes, fmt.Sprintf("ERROR %s prepared: %v", q.name, err))
+			continue
+		}
+		start = time.Now()
+		for i := 0; i < repeats; i++ {
+			if _, err := stmt.Do(context.Background(), server.Request{}); err != nil {
+				t.Notes = append(t.Notes, fmt.Sprintf("ERROR %s prepared: %v", q.name, err))
+				break
+			}
+		}
+		warmAvg := float64(time.Since(start).Microseconds()) / float64(repeats)
+		ws := warm.Stats()
+		t.Rows = append(t.Rows, []string{
+			q.name, "prepared", fmt.Sprintf("%d", repeats),
+			fmt.Sprintf("%.0f", warmAvg), itoa64(ws.Plans.Hits), itoa64(ws.Plans.Misses),
+		})
+	}
+	t.Notes = append(t.Notes,
+		"cold: plan cache disabled — every request pays parse + TD selection + plan compilation",
+		"prepared: Engine.Prepare compiled once; repeats are plan-cache hits (GET /stats shows the hit rate)",
+	)
+	return t
+}

@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/leapfrog"
+import (
+	"context"
+
+	"repro/internal/leapfrog"
+)
 
 // This file implements the paper's §6 extension direction "general
 // aggregate operators (e.g., based on the work of Joglekar et al. [10]
@@ -82,21 +86,39 @@ func UnitWeight[T any](sr Semiring[T]) VarWeight[T] {
 // subtree's aggregate for the adhesion assignment. With CountSemiring
 // and UnitWeight this is exactly CachedTJCount.
 func Aggregate[T any](p *Plan, policy Policy, sr Semiring[T], w VarWeight[T]) T {
+	t, _ := AggregateCtx(context.Background(), p, policy, sr, w)
+	return t
+}
+
+// AggregateCtx is Aggregate with cooperative cancellation: the scan
+// polls ctx once per leapfrog.CancelCheckEvery iterator advances and
+// unwinds promptly when it trips, returning sr.Zero and ctx's error.
+// Nothing is cached from a cancelled run. A non-cancellable ctx runs
+// the exact Aggregate code path. (A free function, not a Plan method,
+// because Go methods cannot introduce type parameters.)
+func AggregateCtx[T any](ctx context.Context, p *Plan, policy Policy, sr Semiring[T], w VarWeight[T]) (T, error) {
+	if err := ctx.Err(); err != nil {
+		return sr.Zero, err
+	}
 	if p.inst.Empty() {
-		return sr.Zero
+		return sr.Zero, nil
 	}
 	e := &aggExec[T]{
 		plan:   p,
-		run:    leapfrog.NewRunner(p.inst),
+		run:    leapfrog.NewRunnerCounters(p.inst, p.counters),
 		sr:     sr,
 		w:      w,
 		total:  sr.Zero,
 		intrmd: make([]T, p.numNodes),
 		cm:     newManager[T](policy, p.numNodes, p.cacheable, p.counters, nil),
+		cancel: leapfrog.NewCanceler(ctx),
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0, sr.One)
-	return e.total
+	if err := e.cancel.Err(); err != nil {
+		return sr.Zero, err
+	}
+	return e.total, nil
 }
 
 type aggExec[T any] struct {
@@ -107,6 +129,7 @@ type aggExec[T any] struct {
 	w      VarWeight[T]
 	intrmd []T
 	cm     *manager[T]
+	cancel *leapfrog.Canceler // nil never cancels
 	total  T
 }
 
@@ -134,7 +157,7 @@ func (e *aggExec[T]) rjoin(d int, f T) {
 	}
 
 	frog, ok := e.run.OpenDepth(d)
-	for ok {
+	for ok && !e.cancel.Poll() {
 		a := frog.Key()
 		e.mu[d] = a
 		e.rjoin(d+1, e.sr.Mul(f, e.w(d, a)))
@@ -157,7 +180,8 @@ func (e *aggExec[T]) rjoin(d int, f T) {
 	}
 	e.run.CloseDepth(d)
 
-	if entering && e.cm.shouldCache(v, key) {
+	// A cancelled scan left intrmd[v] partial — never cache it.
+	if entering && e.cancel.Err() == nil && e.cm.shouldCache(v, key) {
 		e.cm.store(v, key, e.intrmd[v])
 	}
 }

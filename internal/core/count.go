@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/leapfrog"
+import (
+	"context"
+
+	"repro/internal/leapfrog"
+)
 
 // CountResult reports a cached count execution.
 type CountResult struct {
@@ -14,18 +18,37 @@ type CountResult struct {
 // Count runs CachedTJCount (Fig. 2) over the plan under the given policy
 // and returns |q(D)|.
 func (p *Plan) Count(policy Policy) CountResult {
+	res, _ := p.CountCtx(context.Background(), policy)
+	return res
+}
+
+// CountCtx is Count with cooperative cancellation: the recursive scan
+// polls ctx once per leapfrog.CancelCheckEvery iterator advances and
+// unwinds promptly when it is cancelled or its deadline passes,
+// returning ctx's error and a zero result. A non-cancellable ctx
+// (context.Background) runs the exact Count code path. Nothing is
+// cached from a cancelled run: a partial intermediate must never be
+// mistaken for the subtree's true count.
+func (p *Plan) CountCtx(ctx context.Context, policy Policy) (CountResult, error) {
+	if err := ctx.Err(); err != nil {
+		return CountResult{}, err
+	}
 	if p.inst.Empty() {
-		return CountResult{}
+		return CountResult{}, nil
 	}
 	e := &countExec{
 		plan:   p,
-		run:    leapfrog.NewRunner(p.inst),
+		run:    leapfrog.NewRunnerCounters(p.inst, p.counters),
 		intrmd: make([]int64, p.numNodes),
 		cm:     newManager[int64](policy, p.numNodes, p.cacheable, p.counters, nil),
+		cancel: leapfrog.NewCanceler(ctx),
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0, 1)
-	return CountResult{Count: e.total, CachedEntries: e.cm.Entries()}
+	if err := e.cancel.Err(); err != nil {
+		return CountResult{}, err
+	}
+	return CountResult{Count: e.total, CachedEntries: e.cm.Entries()}, nil
 }
 
 type countExec struct {
@@ -34,6 +57,7 @@ type countExec struct {
 	mu     []int64
 	intrmd []int64
 	cm     *manager[int64]
+	cancel *leapfrog.Canceler // nil never cancels
 	total  int64
 }
 
@@ -75,7 +99,7 @@ func (e *countExec) rjoin(d int, f int64) {
 
 	// Lines 13-19: the ordinary trie-join scan of x_d.
 	frog, ok := e.run.OpenDepth(d)
-	for ok {
+	for ok && !e.cancel.Poll() {
 		e.mu[d] = frog.Key()
 		e.rjoin(d+1, f)
 		if p.bagLast[d] {
@@ -94,7 +118,8 @@ func (e *countExec) rjoin(d int, f int64) {
 	e.run.CloseDepth(d)
 
 	// Lines 20-22: about to leave v upward; cache if the policy agrees.
-	if entering && e.cm.shouldCache(v, key) {
+	// A cancelled scan left intrmd[v] partial — never cache it.
+	if entering && e.cancel.Err() == nil && e.cm.shouldCache(v, key) {
 		e.cm.store(v, key, e.intrmd[v])
 	}
 }

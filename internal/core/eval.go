@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/factorized"
 	"repro/internal/leapfrog"
 	"repro/internal/stats"
@@ -23,23 +25,40 @@ type EvalResult struct {
 // with Plan.Order); the slice is reused, so emit must copy to retain.
 // Returning false stops the enumeration.
 func (p *Plan) Eval(policy Policy, emit func(mu []int64) bool) EvalResult {
+	res, _ := p.EvalCtx(context.Background(), policy, emit)
+	return res
+}
+
+// EvalCtx is Eval with cooperative cancellation: the scan polls ctx
+// once per leapfrog.CancelCheckEvery iterator advances and unwinds
+// promptly when it trips, returning ctx's error. Tuples already emitted
+// stand (the stream simply ends early); nothing is cached from a
+// cancelled run. A non-cancellable ctx runs the exact Eval code path.
+func (p *Plan) EvalCtx(ctx context.Context, policy Policy, emit func(mu []int64) bool) (EvalResult, error) {
+	if err := ctx.Err(); err != nil {
+		return EvalResult{}, err
+	}
 	if p.inst.Empty() {
-		return EvalResult{}
+		return EvalResult{}, nil
 	}
 	e := &evalExec{
 		plan:    p,
-		run:     leapfrog.NewRunner(p.inst),
+		run:     leapfrog.NewRunnerCounters(p.inst, p.counters),
 		ctrs:    p.counters,
 		sets:    make([]factorized.Set, p.numNodes),
 		collect: make([]bool, p.numNodes),
 		intent:  make([]bool, p.numNodes),
 		emit:    emit,
+		cancel:  leapfrog.NewCanceler(ctx),
 		cm: newManager[factorized.Set](policy, p.numNodes, p.cacheable, p.counters,
 			func(s factorized.Set) int { return len(s) }),
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0)
-	return EvalResult{Emitted: e.emitted, CachedEntries: e.cm.Entries()}
+	if err := e.cancel.Err(); err != nil {
+		return EvalResult{Emitted: e.emitted}, err
+	}
+	return EvalResult{Emitted: e.emitted, CachedEntries: e.cm.Entries()}, nil
 }
 
 // EvalTuples materializes the result in order-variable order; intended
@@ -65,7 +84,7 @@ func (p *Plan) EvalFactorized(policy Policy) factorized.Set {
 	}
 	e := &evalExec{
 		plan:        p,
-		run:         leapfrog.NewRunner(p.inst),
+		run:         leapfrog.NewRunnerCounters(p.inst, p.counters),
 		ctrs:        p.counters,
 		sets:        make([]factorized.Set, p.numNodes),
 		collect:     make([]bool, p.numNodes),
@@ -103,6 +122,7 @@ type evalExec struct {
 	intent      []bool           // per bag: will store to cache on exit
 	collectRoot bool             // materialize the whole result as a factorized set
 	cm          *manager[factorized.Set]
+	cancel      *leapfrog.Canceler // nil never cancels
 	pending     []skipFrame
 	emit        func([]int64) bool
 	emitted     int64
@@ -148,7 +168,7 @@ func (e *evalExec) rjoin(d int) bool {
 
 	frog, ok := e.run.OpenDepth(d)
 	cont := true
-	for ok && cont {
+	for ok && cont && !e.cancel.Poll() {
 		e.mu[d] = frog.Key()
 		cont = e.rjoin(d + 1)
 		if p.bagLast[d] && e.collect[v] && cont {
@@ -160,7 +180,8 @@ func (e *evalExec) rjoin(d int) bool {
 	}
 	e.run.CloseDepth(d)
 
-	if entering && e.intent[v] && cont {
+	// A cancelled scan left sets[v] partial — never cache it.
+	if entering && e.intent[v] && cont && e.cancel.Err() == nil {
 		e.cm.store(v, key, e.sets[v])
 	}
 	return cont
@@ -203,10 +224,16 @@ func (e *evalExec) emitPending(i int) bool {
 }
 
 // expandSet enumerates the assignments a factorized set represents,
-// writing them into the buffer at bag v's depth interval.
+// writing them into the buffer at bag v's depth interval. It polls the
+// canceler too: a cache hit emits whole subtrees without advancing any
+// iterator, so without a check here a cancelled eval could keep
+// expanding a huge memoized set long after the scan loops stopped.
 func (e *evalExec) expandSet(v int, s factorized.Set, then func() bool) bool {
 	p := e.plan
 	for _, entry := range s {
+		if e.cancel.Poll() {
+			return false
+		}
 		copy(e.mu[p.firstVar[v]:], entry.Vals)
 		if c := e.ctrs; c != nil {
 			c.TupleAccesses += int64(len(entry.Vals))

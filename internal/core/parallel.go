@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"repro/internal/factorized"
 	"repro/internal/leapfrog"
 	"repro/internal/stats"
@@ -44,12 +46,27 @@ func (p *Plan) runShards(workers int, body func(w int, wc *stats.Counters)) {
 // capacity bound applies per worker, so K workers may retain up to
 // K*Capacity entries in total.
 func (p *Plan) CountParallel(policy Policy) CountResult {
+	res, _ := p.CountParallelCtx(context.Background(), policy)
+	return res
+}
+
+// CountParallelCtx is CountParallel with cooperative cancellation:
+// every worker polls ctx through its own leapfrog.Canceler (private
+// tick state, like its private Counters and caches) and stops both its
+// per-shard seek loop and the recursive scan under each root value when
+// ctx trips, so all workers drain within one polling period and the
+// call returns ctx's error with no goroutine left behind. A
+// non-cancellable ctx runs the exact CountParallel code path.
+func (p *Plan) CountParallelCtx(ctx context.Context, policy Policy) (CountResult, error) {
+	if err := ctx.Err(); err != nil {
+		return CountResult{}, err
+	}
 	if p.inst.Empty() {
-		return CountResult{}
+		return CountResult{}, nil
 	}
 	keys, workers := p.shardSetup(policy)
 	if workers <= 1 {
-		return p.Count(policy)
+		return p.CountCtx(ctx, policy)
 	}
 	totals := make([]int64, workers)
 	entries := make([]int, workers)
@@ -59,18 +76,22 @@ func (p *Plan) CountParallel(policy Policy) CountResult {
 			run:    leapfrog.NewRunnerCounters(p.inst, wc),
 			intrmd: make([]int64, p.numNodes),
 			cm:     newManager[int64](policy, p.numNodes, p.cacheable, wc, nil),
+			cancel: leapfrog.NewCanceler(ctx),
 		}
 		e.mu = e.run.Assignment()
 		e.shardScan(keys, w, workers)
 		totals[w] = e.total
 		entries[w] = e.cm.Entries()
 	})
+	if err := ctx.Err(); err != nil {
+		return CountResult{}, err
+	}
 	var res CountResult
 	for w := range totals {
 		res.Count += totals[w]
 		res.CachedEntries += entries[w]
 	}
-	return res
+	return res, nil
 }
 
 // shardScan runs the depth-0 loop of rjoin restricted to the root values
@@ -81,7 +102,7 @@ func (e *countExec) shardScan(keys []int64, start, stride int) {
 	root := p.root
 	e.intrmd[root] = 0
 	frog, ok := e.run.OpenDepth(0)
-	for i := start; ok && i < len(keys); i += stride {
+	for i := start; ok && i < len(keys) && !e.cancel.Poll(); i += stride {
 		if !frog.SeekGE(keys[i]) {
 			break
 		}
@@ -111,12 +132,23 @@ func (e *countExec) shardScan(keys []int64, start, stride int) {
 // deterministic for a fixed worker count but may differ from the
 // sequential rounding by the usual reassociation error.
 func AggregateParallel[T any](p *Plan, policy Policy, sr Semiring[T], w VarWeight[T]) T {
+	t, _ := AggregateParallelCtx(context.Background(), p, policy, sr, w)
+	return t
+}
+
+// AggregateParallelCtx is AggregateParallel with cooperative
+// cancellation (per-worker Cancelers, exactly as CountParallelCtx);
+// it returns sr.Zero and ctx's error when ctx trips.
+func AggregateParallelCtx[T any](ctx context.Context, p *Plan, policy Policy, sr Semiring[T], w VarWeight[T]) (T, error) {
+	if err := ctx.Err(); err != nil {
+		return sr.Zero, err
+	}
 	if p.inst.Empty() {
-		return sr.Zero
+		return sr.Zero, nil
 	}
 	keys, workers := p.shardSetup(policy)
 	if workers <= 1 {
-		return Aggregate(p, policy, sr, w)
+		return AggregateCtx(ctx, p, policy, sr, w)
 	}
 	totals := make([]T, workers)
 	p.runShards(workers, func(wi int, wc *stats.Counters) {
@@ -128,16 +160,20 @@ func AggregateParallel[T any](p *Plan, policy Policy, sr Semiring[T], w VarWeigh
 			total:  sr.Zero,
 			intrmd: make([]T, p.numNodes),
 			cm:     newManager[T](policy, p.numNodes, p.cacheable, wc, nil),
+			cancel: leapfrog.NewCanceler(ctx),
 		}
 		e.mu = e.run.Assignment()
 		e.shardScan(keys, wi, workers)
 		totals[wi] = e.total
 	})
+	if err := ctx.Err(); err != nil {
+		return sr.Zero, err
+	}
 	total := sr.Zero
 	for _, t := range totals {
 		total = sr.Add(total, t)
 	}
-	return total
+	return total, nil
 }
 
 // shardScan is the aggregate twin of countExec.shardScan: the depth-0
@@ -148,7 +184,7 @@ func (e *aggExec[T]) shardScan(keys []int64, start, stride int) {
 	root := p.root
 	e.intrmd[root] = e.sr.Zero
 	frog, ok := e.run.OpenDepth(0)
-	for i := start; ok && i < len(keys); i += stride {
+	for i := start; ok && i < len(keys) && !e.cancel.Poll(); i += stride {
 		if !frog.SeekGE(keys[i]) {
 			break
 		}
@@ -188,12 +224,26 @@ func (e *aggExec[T]) shardScan(keys []int64, start, stride int) {
 // sequential Eval, the emitted slices are freshly allocated and may be
 // retained by the callback.
 func (p *Plan) EvalParallel(policy Policy, emit func(mu []int64) bool) EvalResult {
+	res, _ := p.EvalParallelCtx(context.Background(), policy, emit)
+	return res
+}
+
+// EvalParallelCtx is EvalParallel with cooperative cancellation
+// (per-worker Cancelers, exactly as CountParallelCtx). When ctx trips,
+// the workers drain within one polling period, the partially buffered
+// result is discarded without any emit call, and ctx's error is
+// returned. A non-cancellable ctx runs the exact EvalParallel code
+// path.
+func (p *Plan) EvalParallelCtx(ctx context.Context, policy Policy, emit func(mu []int64) bool) (EvalResult, error) {
+	if err := ctx.Err(); err != nil {
+		return EvalResult{}, err
+	}
 	if p.inst.Empty() {
-		return EvalResult{}
+		return EvalResult{}, nil
 	}
 	keys, workers := p.shardSetup(policy)
 	if workers <= 1 {
-		return p.Eval(policy, emit)
+		return p.EvalCtx(ctx, policy, emit)
 	}
 	// buckets[i] collects the result tuples whose root value is keys[i];
 	// shards own disjoint index sets, so no locking is needed.
@@ -207,6 +257,7 @@ func (p *Plan) EvalParallel(policy Policy, emit func(mu []int64) bool) EvalResul
 			sets:    make([]factorized.Set, p.numNodes),
 			collect: make([]bool, p.numNodes),
 			intent:  make([]bool, p.numNodes),
+			cancel:  leapfrog.NewCanceler(ctx),
 			cm: newManager[factorized.Set](policy, p.numNodes, p.cacheable, wc,
 				func(s factorized.Set) int { return len(s) }),
 		}
@@ -219,6 +270,9 @@ func (p *Plan) EvalParallel(policy Policy, emit func(mu []int64) bool) EvalResul
 		e.shardScan(keys, w, workers, func(i int) { cur = i })
 		entries[w] = e.cm.Entries()
 	})
+	if err := ctx.Err(); err != nil {
+		return EvalResult{}, err
+	}
 	var res EvalResult
 	for _, n := range entries {
 		res.CachedEntries += n
@@ -227,11 +281,11 @@ func (p *Plan) EvalParallel(policy Policy, emit func(mu []int64) bool) EvalResul
 		for _, tup := range bucket {
 			res.Emitted++
 			if !emit(tup) {
-				return res
+				return res, nil
 			}
 		}
 	}
-	return res
+	return res, nil
 }
 
 // shardScan is the evaluation twin of countExec.shardScan. enter is
@@ -245,7 +299,7 @@ func (e *evalExec) shardScan(keys []int64, start, stride int, enter func(i int))
 	e.sets[root] = nil
 	frog, ok := e.run.OpenDepth(0)
 	cont := true
-	for i := start; ok && cont && i < len(keys); i += stride {
+	for i := start; ok && cont && i < len(keys) && !e.cancel.Poll(); i += stride {
 		if !frog.SeekGE(keys[i]) {
 			break
 		}

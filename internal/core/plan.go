@@ -254,6 +254,20 @@ func (p *Plan) Order() []string { return p.order }
 // Counters returns the accounting sink (possibly nil).
 func (p *Plan) Counters() *stats.Counters { return p.counters }
 
+// WithCounters returns a shallow copy of the plan whose executions
+// account into c (which may be nil to disable accounting). The compiled
+// tables and trie indices are shared — they are immutable after
+// compilation — so the copy is cheap and the original and copy may
+// execute concurrently. This is how a long-lived engine runs one cached
+// plan for many requests, each with private accounting: every execution
+// entry point reads the counters sink from the plan it is invoked on,
+// never from shared state.
+func (p *Plan) WithCounters(c *stats.Counters) *Plan {
+	cp := *p
+	cp.counters = c
+	return &cp
+}
+
 // CacheDims returns the adhesion widths of the cacheable bags (the cache
 // dimensions, cf. Fig. 11's cache structures).
 func (p *Plan) CacheDims() []int {

@@ -31,7 +31,7 @@ func (s *Session) Count() CountResult {
 	}
 	e := &countExec{
 		plan:   s.plan,
-		run:    leapfrog.NewRunner(s.plan.inst),
+		run:    leapfrog.NewRunnerCounters(s.plan.inst, s.plan.counters),
 		intrmd: make([]int64, s.plan.numNodes),
 		cm:     s.cm,
 	}

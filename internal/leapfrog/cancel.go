@@ -1,0 +1,75 @@
+package leapfrog
+
+import "context"
+
+// CancelCheckEvery is the cooperative-cancellation polling period: a
+// Canceler consults its context once per this many Poll calls (one call
+// per iterator advance in the join inner loops). The join engines are
+// CPU-bound recursions with no natural blocking points, so cancellation
+// is cooperative; a power-of-two period keeps the hot-path cost to one
+// increment and one mask test, while 2^8 advances are far below a
+// millisecond of work on any input, so a cancelled query unwinds well
+// inside the promptness budget the service tests enforce (50ms).
+const CancelCheckEvery = 256
+
+// Canceler adapts a context.Context to the join engines' inner loops:
+// Poll is cheap enough to call once per iterator advance, checks the
+// context only every CancelCheckEvery calls, and latches the first
+// error so that once a run is cancelled every subsequent Poll returns
+// true immediately and the recursion unwinds without further context
+// traffic. A nil *Canceler is valid and never cancels — NewCanceler
+// returns nil for contexts that cannot be cancelled, so uncancellable
+// runs pay only a nil check.
+//
+// A Canceler is single-goroutine state: parallel engines give every
+// worker its own Canceler over the shared context, exactly as they give
+// every worker its own Counters.
+type Canceler struct {
+	ctx  context.Context
+	tick uint32
+	err  error
+}
+
+// NewCanceler wraps ctx for cooperative polling. It returns nil — the
+// never-cancelled Canceler — when ctx is nil or cannot be cancelled
+// (context.Background, context.TODO), and latches immediately when ctx
+// is already done.
+func NewCanceler(ctx context.Context) *Canceler {
+	if ctx == nil || ctx.Done() == nil {
+		return nil
+	}
+	c := &Canceler{ctx: ctx}
+	c.err = ctx.Err()
+	return c
+}
+
+// Poll reports whether the run should abort. Call it once per iterator
+// advance: every CancelCheckEvery-th call consults the context, and a
+// latched cancellation makes all later calls return true at once.
+func (c *Canceler) Poll() bool {
+	if c == nil {
+		return false
+	}
+	if c.err != nil {
+		return true
+	}
+	c.tick++
+	if c.tick&(CancelCheckEvery-1) != 0 {
+		return false
+	}
+	if err := c.ctx.Err(); err != nil {
+		c.err = err
+		return true
+	}
+	return false
+}
+
+// Err returns the latched cancellation cause (ctx.Err() at the poll
+// that tripped), or nil while the run is live. Engines call it after
+// the scan unwinds to decide whether to return a result or the error.
+func (c *Canceler) Err() error {
+	if c == nil {
+		return nil
+	}
+	return c.err
+}

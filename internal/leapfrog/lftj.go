@@ -1,6 +1,8 @@
 package leapfrog
 
 import (
+	"context"
+
 	"repro/internal/stats"
 	"repro/internal/trie"
 )
@@ -10,11 +12,12 @@ import (
 // execution (Count and Eval below do so). It is exported because CLFTJ
 // (package core) drives the same machinery with cache hooks.
 type Runner struct {
-	inst  *Instance
-	iters []*trie.Iterator // one per atom leg
-	frogs []*Frog          // one per depth, legs bound at depth entry
-	legs  [][]*trie.Iterator
-	mu    []int64 // current partial assignment, by depth
+	inst   *Instance
+	iters  []*trie.Iterator // one per atom leg
+	frogs  []*Frog          // one per depth, legs bound at depth entry
+	legs   [][]*trie.Iterator
+	mu     []int64   // current partial assignment, by depth
+	cancel *Canceler // cooperative cancellation; nil never cancels
 }
 
 // NewRunner prepares fresh iterators and per-depth frogs for one
@@ -54,6 +57,13 @@ func NewRunnerCounters(inst *Instance, c *stats.Counters) *Runner {
 // Instance returns the instance the runner executes.
 func (r *Runner) Instance() *Instance { return r.inst }
 
+// SetCanceler arms cooperative cancellation for this runner's scans:
+// countFrom/evalFrom poll c once per iterator advance and unwind when
+// it trips. nil (the default) disables cancellation. Engines layered on
+// the runner (package core) poll their own Canceler in their own loops
+// instead.
+func (r *Runner) SetCanceler(c *Canceler) { r.cancel = c }
+
 // Assignment returns the current partial assignment by depth; valid
 // during callbacks.
 func (r *Runner) Assignment() []int64 { return r.mu }
@@ -90,7 +100,7 @@ func (r *Runner) countFrom(d int) int64 {
 	}
 	f, ok := r.OpenDepth(d)
 	var total int64
-	for ok {
+	for ok && !r.cancel.Poll() {
 		r.mu[d] = f.Key()
 		total += r.countFrom(d + 1)
 		ok = f.Next()
@@ -116,7 +126,7 @@ func (r *Runner) evalFrom(d int, emit func([]int64) bool) bool {
 	}
 	f, ok := r.OpenDepth(d)
 	cont := true
-	for ok && cont {
+	for ok && cont && !r.cancel.Poll() {
 		r.mu[d] = f.Key()
 		cont = r.evalFrom(d+1, emit)
 		if cont {
@@ -129,6 +139,38 @@ func (r *Runner) evalFrom(d int, emit func([]int64) bool) bool {
 
 // Count runs vanilla LFTJ count over the instance.
 func Count(inst *Instance) int64 { return NewRunner(inst).Count() }
+
+// CountCtx is Count with cooperative cancellation: the scan polls ctx
+// once per CancelCheckEvery iterator advances and unwinds promptly when
+// it is cancelled or its deadline passes, returning ctx's error. A
+// non-cancellable ctx (context.Background) adds no per-advance work
+// beyond a nil check.
+func CountCtx(ctx context.Context, inst *Instance) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	r := NewRunner(inst)
+	r.SetCanceler(NewCanceler(ctx))
+	n := r.Count()
+	if err := r.cancel.Err(); err != nil {
+		return 0, err
+	}
+	return n, nil
+}
+
+// EvalCtx is Eval with cooperative cancellation (see CountCtx). The
+// enumeration stops early both when emit returns false (no error) and
+// when ctx trips (ctx's error is returned); tuples already emitted
+// stand either way.
+func EvalCtx(ctx context.Context, inst *Instance, emit func(mu []int64) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	r := NewRunner(inst)
+	r.SetCanceler(NewCanceler(ctx))
+	r.Eval(emit)
+	return r.cancel.Err()
+}
 
 // Eval runs vanilla LFTJ evaluation over the instance.
 func Eval(inst *Instance, emit func(mu []int64) bool) { NewRunner(inst).Eval(emit) }

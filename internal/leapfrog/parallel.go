@@ -1,6 +1,7 @@
 package leapfrog
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -101,19 +102,35 @@ func RunSharded(workers int, sink *stats.Counters, body func(w int, wc *stats.Co
 // Accounting is exact: workers count into private Counters that are
 // merged into the instance's sink after the join.
 func ParallelCount(inst *Instance, workers int) int64 {
+	n, _ := ParallelCountCtx(context.Background(), inst, workers)
+	return n
+}
+
+// ParallelCountCtx is ParallelCount with cooperative cancellation:
+// every worker polls ctx through its own Canceler (private tick state,
+// like its private Counters) and stops both its per-shard seek loop and
+// the recursive scan under each root value when ctx trips, so all
+// workers drain within one polling period and the call returns ctx's
+// error with no goroutine left behind. A non-cancellable ctx runs the
+// exact ParallelCount code path.
+func ParallelCountCtx(ctx context.Context, inst *Instance, workers int) (int64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	if inst.empty {
-		return 0
+		return 0, nil
 	}
 	keys, workers := ShardDomain(inst, workers, inst.counters)
 	if workers <= 1 {
-		return Count(inst)
+		return CountCtx(ctx, inst)
 	}
 	totals := make([]int64, workers)
 	RunSharded(workers, inst.counters, func(w int, wc *stats.Counters) {
 		r := NewRunnerCounters(inst, wc)
+		r.SetCanceler(NewCanceler(ctx))
 		frog, ok := r.OpenDepth(0)
 		var total int64
-		for i := w; ok && i < len(keys); i += workers {
+		for i := w; ok && i < len(keys) && !r.cancel.Poll(); i += workers {
 			if !frog.SeekGE(keys[i]) {
 				break
 			}
@@ -123,9 +140,12 @@ func ParallelCount(inst *Instance, workers int) int64 {
 		r.CloseDepth(0)
 		totals[w] = total
 	})
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	var total int64
 	for _, t := range totals {
 		total += t
 	}
-	return total
+	return total, nil
 }

@@ -11,7 +11,9 @@
 package server
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,9 +35,11 @@ type Config struct {
 	// across all queries (0 = unbounded). Under pressure the least
 	// recently used index orders are evicted first.
 	TrieBudget int64
-	// DisableReuse turns the shared registry off: every query builds
-	// private tries, as a one-shot CLI run would. This is the control
-	// arm of the E12 benchmark and an escape hatch, not a fast mode.
+	// DisableReuse turns cross-query amortization off entirely: every
+	// query builds private tries and compiles its own plan, as a
+	// one-shot CLI run would (the shared registry and the plan cache
+	// are both disabled). This is the control arm of the E12/E14
+	// benchmarks and an escape hatch, not a fast mode.
 	DisableReuse bool
 	// MaxTuples caps the tuples an eval response carries when the
 	// request does not set its own limit (0: DefaultMaxTuples). The
@@ -47,11 +51,32 @@ type Config struct {
 	// size, the next version compacts and its indices are rebuilt in
 	// full instead of patched.
 	CompactFraction float64
+	// PlanCache bounds the compiled-plan cache (entries; 0:
+	// DefaultPlanCacheSize, negative: disabled, so every request pays
+	// parse + TD selection + plan compilation — the control arm of the
+	// E14 benchmark). Plans are keyed by (canonical query text,
+	// plan-affecting options, version vector of the touched relations),
+	// so updates invalidate exactly the plans they staled. Note the cap
+	// is entries, not bytes: a cached plan over constant-specialized
+	// atoms retains their private derived tries (selections, so usually
+	// small) outside the TrieBudget accounting — lower PlanCache to
+	// bound that retention on constant-heavy workloads.
+	PlanCache int
+	// MaxPrepared caps the prepared-statement registry (0:
+	// DefaultMaxPrepared). Prepare fails once the cap is reached —
+	// statements are explicit handles a client must Close, so the
+	// error surfaces a client-side leak instead of letting the
+	// registry grow without bound.
+	MaxPrepared int
 }
 
 // DefaultMaxTuples is the eval response cap when neither the request
 // nor the config names one.
 const DefaultMaxTuples = 100
+
+// DefaultMaxPrepared is the prepared-statement registry cap when the
+// config does not name one.
+const DefaultMaxPrepared = 1024
 
 // Engine is a resident query service over one versioned database. All
 // methods are safe for concurrent use. Relations are mutated only
@@ -80,6 +105,16 @@ type Engine struct {
 	// version-install step that follows stays ordered with the merge.
 	updateMu sync.Mutex
 
+	// plans caches compiled plans across requests (nil when disabled);
+	// see planCache for the keying that makes update invalidation free.
+	plans *planCache
+
+	// stmtMu guards the prepared-statement registry (HTTP query-by-id;
+	// in-process callers hold the *Stmt directly).
+	stmtMu  sync.Mutex
+	stmts   map[string]*Stmt
+	stmtSeq uint64
+
 	life    stats.Locked
 	queries atomic.Int64
 	updates atomic.Int64
@@ -91,15 +126,40 @@ type Engine struct {
 // cached tries by relation identity and all mutation must go through
 // Update.
 func NewEngine(db *relation.DB, cfg Config) *Engine {
+	planCap := cfg.PlanCache
+	if planCap == 0 {
+		planCap = DefaultPlanCacheSize
+	}
+	if cfg.DisableReuse {
+		planCap = -1
+	}
 	e := &Engine{
 		db:       db,
 		cfg:      cfg,
 		started:  time.Now(),
 		stores:   make(map[string]*relation.Store),
 		versions: make(map[string]relation.Version),
+		plans:    newPlanCache(planCap),
+		stmts:    make(map[string]*Stmt),
 	}
 	if !cfg.DisableReuse {
 		e.reg = trie.NewRegistry(cfg.TrieBudget)
+		// A plan embeds the registry tries it compiled against, so a
+		// byte-budget eviction must also drop the plans pinning that
+		// index — otherwise TrieBudget would stop bounding resident trie
+		// memory (evicted-but-pinned copies) and the next compile over
+		// the relation would build a duplicate. The drop is deliberately
+		// coarse — by relation name, so plans embedding a different
+		// still-resident order of the same relation recompile too: the
+		// memory bound wins over warm plans under pressure, and plans
+		// re-warm on the next request. (Precise per-entry tracking is a
+		// ROADMAP item. A compile racing the eviction may still cache
+		// one plan holding the evicted trie; it is a bounded,
+		// self-healing overshoot, like the stale re-insert race on
+		// updates.)
+		e.reg.SetEvictHook(func(rel *relation.Relation) {
+			e.plans.invalidateTouching(rel.Name())
+		})
 	}
 	for _, name := range db.Names() {
 		r, err := db.Get(name)
@@ -129,6 +189,17 @@ func (e *Engine) snapshot() (*relation.DB, uint64) {
 	e.verMu.Lock()
 	defer e.verMu.Unlock()
 	return e.db, e.epochs.enter()
+}
+
+// snapshotFor is snapshot plus the version sub-vector of the given
+// (sorted) relation names, rendered under the same verMu hold — so the
+// plan-cache key a query assembles always describes exactly the
+// snapshot it will execute against, atomically with respect to Update's
+// install step.
+func (e *Engine) snapshotFor(names []string) (*relation.DB, string, uint64) {
+	e.verMu.Lock()
+	defer e.verMu.Unlock()
+	return e.db, versionVector(names, e.versions), e.epochs.enter()
 }
 
 // finish exits the query's epoch and releases any superseded versions
@@ -173,13 +244,33 @@ type Request struct {
 	CacheEviction string `json:"cache_eviction,omitempty"`
 	NoCache       bool   `json:"no_cache,omitempty"`
 	// Limit caps the tuples returned by eval (0: engine default). The
-	// reported count is always the full |q(D)|.
+	// reported count is always the full |q(D)|. Streaming executions
+	// ("mode": "stream") instead stop the scan at the limit; there 0
+	// means unlimited for raw-text queries, while for a prepared
+	// statement 0 keeps the prepared default and a negative value
+	// clears it (stream everything).
 	Limit int `json:"limit,omitempty"`
 	// Semiring selects the aggregate: "count" (default; |q(D)| with
 	// subtree-aggregate caches), "sum" (sum over tuples of the product
 	// of the bound values) or "min" (tropical: min over tuples of the
 	// sum of the bound values).
 	Semiring string `json:"semiring,omitempty"`
+	// TimeoutMS bounds the query's wall-clock time in milliseconds
+	// (0: only the caller's context limits it). Past the deadline the
+	// join unwinds cooperatively and the request fails with
+	// context.DeadlineExceeded.
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// NoOrderCost skips the order-cost probes of plan selection, which
+	// build one trie set per candidate decomposition to estimate scan
+	// costs — worth skipping for short queries whose planning time
+	// rivals their execution time. Plan-affecting: keyed into the plan
+	// cache, so the cheap and thorough plans of one query coexist.
+	NoOrderCost bool `json:"no_order_cost,omitempty"`
+	// Stmt executes a prepared statement by id (see Engine.Prepare and
+	// POST /prepare) instead of parsing Query, which must then be
+	// empty. Non-zero execution fields override the statement's
+	// defaults.
+	Stmt string `json:"stmt,omitempty"`
 }
 
 // UpdateRequest is one mutation submission: a batch of inserts and
@@ -262,6 +353,17 @@ func (e *Engine) Update(req UpdateRequest) (*UpdateResult, error) {
 		if old.Base != v.Base && old.Base != old.Rel {
 			reclaim = append(reclaim, e.epochs.retire(old.Base)...)
 		}
+		// Drop the plans this delta staled: their keys are already
+		// unreachable (the version vector moved), but dropping them now
+		// releases the superseded trie indices they pin, so resident
+		// memory under continuous updates tracks the live plan set, not
+		// the LRU capacity. It must happen before verMu releases: a
+		// plan for the new version can only be compiled by a query
+		// admitted after this critical section, so the name-based sweep
+		// can never hit a fresh entry — only plans for snapshots this
+		// update superseded (verMu → planCache.mu nests here; no other
+		// path holds them together).
+		e.plans.invalidateTouching(req.Relation)
 		e.verMu.Unlock()
 	}
 	e.release(reclaim)
@@ -291,6 +393,11 @@ type QueryStats struct {
 	// CachedEntries is the number of intermediate results resident in
 	// the query's CLFTJ caches when it finished.
 	CachedEntries int `json:"cached_entries"`
+	// PlanCached reports that the query executed a plan served from the
+	// engine's plan cache — parse still happened (for raw-text
+	// requests), but TD selection and plan compilation were skipped
+	// entirely.
+	PlanCached bool `json:"plan_cached,omitempty"`
 }
 
 // Response is the result of one Request.
@@ -332,6 +439,13 @@ type EngineStats struct {
 	// bytes and entries next to lifetime hits/builds/patches/evictions
 	// (zero when reuse is disabled).
 	Registry trie.RegistryStats `json:"registry"`
+	// Plans describes the compiled-plan cache: hit/miss/eviction
+	// lifetime counts next to the current residency (zero when plan
+	// caching is disabled).
+	Plans PlanCacheStats `json:"plans"`
+	// Prepared is the number of prepared statements currently
+	// registered (Engine.Prepare / POST /prepare).
+	Prepared int `json:"prepared"`
 	// LiveVersions counts the relation versions currently reachable:
 	// one per relation, plus each patched relation's base version
 	// (kept resident as the patch substrate), plus every superseded
@@ -366,6 +480,10 @@ func (e *Engine) Stats() EngineStats {
 	if e.reg != nil {
 		s.Registry = e.reg.Stats()
 	}
+	s.Plans = e.plans.stats()
+	e.stmtMu.Lock()
+	s.Prepared = len(e.stmts)
+	e.stmtMu.Unlock()
 	// The installed-versions map (not the live stores) keeps the
 	// inventory consistent with the db snapshot: an update whose merge
 	// has finished but whose install has not yet happened is invisible
@@ -430,37 +548,119 @@ func (e *Engine) tries() leapfrog.TrieSource {
 	return e.reg
 }
 
-// Do executes one request. It is safe to call from any number of
+// Do executes one request under context.Background() — the
+// uncancellable entry point kept for existing callers. New code should
+// prefer DoCtx.
+func (e *Engine) Do(req Request) (*Response, error) {
+	return e.DoCtx(context.Background(), req)
+}
+
+// DoCtx executes one request. It is safe to call from any number of
 // goroutines, concurrently with Update: the query takes one consistent
 // snapshot of every relation at entry (pinning those versions against
-// reclamation until it finishes), while plans, CLFTJ caches and
-// counters are private per call — so results are bit-identical to a
-// fresh sequential run of the same query against the same snapshot.
-func (e *Engine) Do(req Request) (*Response, error) {
-	start := time.Now()
+// reclamation until it finishes), while CLFTJ caches and counters are
+// private per call — so results are bit-identical to a fresh sequential
+// run of the same query against the same snapshot. Compiled plans are
+// drawn from the engine's plan cache (immutable, so shared across
+// concurrent requests) and repeated queries skip TD selection and plan
+// compilation entirely; Stats.PlanCached reports which path a response
+// took. Cancelling ctx — or exceeding req.TimeoutMS — unwinds the join
+// cooperatively within leapfrog.CancelCheckEvery iterator advances per
+// worker and returns ctx's error.
+func (e *Engine) DoCtx(ctx context.Context, req Request) (*Response, error) {
+	if req.Stmt != "" {
+		if req.Query != "" {
+			return nil, fmt.Errorf("server: request names both a query and prepared statement %q", req.Stmt)
+		}
+		s, err := e.Stmt(req.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		return s.Do(ctx, req)
+	}
 	q, err := cq.Parse(req.Query)
 	if err != nil {
 		return nil, err
 	}
+	return e.exec(ctx, q, q.String(), relNames(q), req)
+}
+
+// relNames returns the sorted distinct relation names q references —
+// the relations whose versions form the query's plan-cache sub-vector.
+func relNames(q *cq.Query) []string {
+	seen := make(map[string]bool, len(q.Atoms))
+	names := make([]string, 0, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			names = append(names, a.Rel)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// planFor resolves the compiled plan for one execution: a plan-cache
+// hit returns the resident plan rebound to the request's counters, a
+// miss compiles (charging the compile — including any shared trie
+// builds — to the requester) and caches the plan with a nil sink.
+func (e *Engine) planFor(q *cq.Query, text string, names []string, vec string, db *relation.DB, req Request, c *stats.Counters) (*core.Plan, bool, error) {
+	key := planKey{text: text, opts: planOptsKey(req), vers: vec}
+	if p, ok := e.plans.get(key); ok {
+		return p.WithCounters(c), true, nil
+	}
+	p, err := core.AutoPlan(q, db, core.AutoOptions{
+		Counters:      c,
+		Tries:         e.tries(),
+		SkipOrderCost: req.NoOrderCost,
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	e.plans.put(key, p.WithCounters(nil), names)
+	return p, false, nil
+}
+
+// exec runs one parsed request end to end: resolve policy and deadline,
+// snapshot, plan (cached or compiled), execute with cooperative
+// cancellation, account. q must be the parse of text and names its
+// sorted relation names.
+func (e *Engine) exec(ctx context.Context, q *cq.Query, text string, names []string, req Request) (*Response, error) {
+	start := time.Now()
 	pol, err := e.policyOf(req)
 	if err != nil {
 		return nil, err
 	}
+	if req.TimeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
+		defer cancel()
+	}
 
-	db, ep := e.snapshot()
+	db, vec, ep := e.snapshotFor(names)
 	defer e.finish(ep)
 
+	// Lifetime counters absorb the work actually performed even when
+	// the execution fails or times out (a cancelled query's trie builds
+	// and accesses happened; GET /stats must not diverge from the
+	// registry's view). Only Queries stays success-only — it counts
+	// completed requests.
 	var c stats.Counters
-	plan, err := core.AutoPlan(q, db, core.AutoOptions{Counters: &c, Tries: e.tries()})
+	defer func() { e.life.Merge(&c) }()
+	plan, cached, err := e.planFor(q, text, names, vec, db, req, &c)
 	if err != nil {
 		return nil, err
 	}
 	resp := &Response{Order: plan.Order()}
+	resp.Stats.PlanCached = cached
 
 	switch req.Mode {
 	case "", "count":
 		resp.Mode = "count"
-		res := plan.CountParallel(pol)
+		res, err := plan.CountParallelCtx(ctx, pol)
+		if err != nil {
+			return nil, err
+		}
 		resp.Count = res.Count
 		resp.Stats.CachedEntries = res.CachedEntries
 
@@ -473,7 +673,7 @@ func (e *Engine) Do(req Request) (*Response, error) {
 		if limit <= 0 {
 			limit = DefaultMaxTuples
 		}
-		res := plan.EvalParallel(pol, func(mu []int64) bool {
+		res, err := plan.EvalParallelCtx(ctx, pol, func(mu []int64) bool {
 			resp.Count++
 			if len(resp.Tuples) < limit {
 				resp.Tuples = append(resp.Tuples, append([]int64(nil), mu...))
@@ -482,6 +682,9 @@ func (e *Engine) Do(req Request) (*Response, error) {
 			}
 			return true
 		})
+		if err != nil {
+			return nil, err
+		}
 		resp.Stats.CachedEntries = res.CachedEntries
 
 	case "aggregate":
@@ -489,18 +692,26 @@ func (e *Engine) Do(req Request) (*Response, error) {
 		switch req.Semiring {
 		case "", "count":
 			sr := core.CountSemiring()
-			resp.Count = core.AggregateParallel(plan, pol, sr, core.UnitWeight(sr))
+			resp.Count, err = core.AggregateParallelCtx(ctx, plan, pol, sr, core.UnitWeight(sr))
 		case "sum":
 			sr := core.SumProductSemiring()
-			resp.Value = core.AggregateParallel(plan, pol, sr,
+			resp.Value, err = core.AggregateParallelCtx(ctx, plan, pol, sr,
 				func(_ int, v int64) float64 { return float64(v) })
 		case "min":
 			sr := core.TropicalSemiring()
-			resp.Value = core.AggregateParallel(plan, pol, sr,
+			resp.Value, err = core.AggregateParallelCtx(ctx, plan, pol, sr,
 				func(_ int, v int64) float64 { return float64(v) })
 		default:
 			return nil, fmt.Errorf("server: unknown semiring %q (want count, sum or min)", req.Semiring)
 		}
+		if err != nil {
+			return nil, err
+		}
+
+	case "stream":
+		// Streaming is transport-level: a buffered Response cannot carry
+		// it. The HTTP handler routes this mode before reaching here.
+		return nil, fmt.Errorf("server: mode \"stream\" has no buffered response — use Engine.StreamCtx or Stmt.Rows in process, or POST /query over HTTP")
 
 	default:
 		return nil, fmt.Errorf("server: unknown mode %q (want count, eval or aggregate)", req.Mode)
@@ -508,7 +719,6 @@ func (e *Engine) Do(req Request) (*Response, error) {
 
 	resp.Stats.DurationMS = float64(time.Since(start).Microseconds()) / 1000
 	resp.Stats.Counters = c
-	e.life.Merge(&c)
 	e.queries.Add(1)
 	return resp, nil
 }

@@ -136,13 +136,16 @@ func TestEngineRepeatedQueryZeroBuilds(t *testing.T) {
 }
 
 // TestEngineConstantQuerySteadyBuilds pins the accounting for queries
-// the registry cannot fully serve: an atom specialized by a constant
-// builds one private trie per execution (its derived relation is
-// query-specific), but the pure atoms still ride the registry and the
-// plan-selection probes stay uncharged — so warm repeats settle at
-// exactly one build, not one per candidate order.
+// the registry cannot fully serve, with plan caching disabled so every
+// request recompiles: an atom specialized by a constant builds one
+// private trie per compile (its derived relation is query-specific),
+// but the pure atoms still ride the registry and the plan-selection
+// probes stay uncharged — so warm repeats settle at exactly one build,
+// not one per candidate order. (With the default plan cache the whole
+// compiled plan — private trie included — is reused and warm repeats
+// report zero builds; see TestPlanCacheHit.)
 func TestEngineConstantQuerySteadyBuilds(t *testing.T) {
-	e := NewEngine(testDB(), Config{Workers: 1})
+	e := NewEngine(testDB(), Config{Workers: 1, PlanCache: -1})
 	req := Request{Query: "E(x,y), E(y,z), E(z, 0)"}
 	if _, err := e.Do(req); err != nil {
 		t.Fatal(err)
@@ -274,6 +277,7 @@ func TestEngineErrors(t *testing.T) {
 		{Query: "not a query"},
 		{Query: "R(x,y)"}, // unknown relation
 		{Query: "E(x,y)", Mode: "explain"},
+		{Query: "E(x,y)", Mode: "stream"}, // transport-level; StreamCtx/HTTP only
 		{Query: "E(x,y)", Mode: "aggregate", Semiring: "max"},
 		{Query: "E(x,y)", CacheEviction: "random"},
 	} {

@@ -1,9 +1,13 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"net/http"
+	"sync"
+	"time"
 )
 
 // maxRequestBody bounds POST /query bodies (queries are short text).
@@ -13,46 +17,79 @@ const maxRequestBody = 1 << 20
 // so they get more headroom than query text.
 const maxUpdateBody = 64 << 20
 
+// streamFlushEvery is the NDJSON row interval between explicit flushes
+// on dense streams: frequent enough that consumers see rows while the
+// join runs, rare enough that flushing does not dominate large
+// results. Sparse streams flush on time instead (streamFlushAfter), so
+// a slow producer's rows are not held hostage by the row counter.
+const streamFlushEvery = 128
+
+// streamFlushAfter is the longest a buffered row waits before the next
+// row forces a flush regardless of the row counter.
+const streamFlushAfter = 100 * time.Millisecond
+
 // NewHandler exposes the engine over HTTP/JSON:
 //
-//	POST /query    {"query": "E(x,y), E(y,z), E(x,z)", "mode": "count", ...}
-//	POST /update   {"relation": "E", "inserts": [[1,2]], "deletes": [[3,4]]}
-//	GET  /stats    engine-lifetime counters, registry stats, versions, inventory
-//	GET  /healthz  liveness probe
+//	POST   /query        {"query": "E(x,y), E(y,z), E(x,z)", "mode": "count", ...}
+//	                     or {"stmt": "s1", ...} to execute a prepared statement;
+//	                     "mode": "stream" streams NDJSON rows instead of buffering
+//	POST   /prepare      {"query": "...", ...defaults} -> {"stmt": "s1", ...}
+//	DELETE /prepare/{id} close a prepared statement
+//	POST   /update       {"relation": "E", "inserts": [[1,2]], "deletes": [[3,4]]}
+//	GET    /stats        engine-lifetime counters, registry + plan cache, versions
+//	GET    /healthz      liveness probe
 //
 // Request/Response and UpdateRequest/UpdateResult document the wire
-// formats. Errors are returned as {"error": "..."} with a 4xx status.
+// formats. Every handler executes under r.Context(), so a disconnected
+// client (or a server shutdown draining connections) cancels its query
+// cooperatively; "timeout_ms" bounds one query from the request itself.
+// Errors are returned as {"error": "..."} with a 4xx/5xx status
+// (504 when the query's deadline passed).
 func NewHandler(e *Engine) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
-			return
-		}
+	mux.HandleFunc("POST /query", func(w http.ResponseWriter, r *http.Request) {
 		var req Request
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
-			writeError(w, http.StatusBadRequest, err)
+		if !decodeInto(w, r, maxRequestBody, &req) {
 			return
 		}
-		resp, err := e.Do(req)
+		if req.Mode == "stream" {
+			streamQuery(e, w, r, req)
+			return
+		}
+		resp, err := e.DoCtx(r.Context(), req)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			writeError(w, errStatus(err), err)
 			return
 		}
 		writeJSON(w, http.StatusOK, resp)
 	})
-	mux.HandleFunc("/update", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodPost {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use POST"))
+	mux.HandleFunc("POST /prepare", func(w http.ResponseWriter, r *http.Request) {
+		var req Request
+		if !decodeInto(w, r, maxRequestBody, &req) {
 			return
 		}
-		var req UpdateRequest
-		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxUpdateBody))
-		dec.DisallowUnknownFields()
-		if err := dec.Decode(&req); err != nil {
+		s, err := e.Prepare(req)
+		if err != nil {
 			writeError(w, http.StatusBadRequest, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"stmt":  s.ID(),
+			"query": s.Text(),
+		})
+	})
+	mux.HandleFunc("DELETE /prepare/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, err := e.Stmt(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		s.Close()
+		writeJSON(w, http.StatusOK, map[string]any{"closed": s.ID()})
+	})
+	mux.HandleFunc("POST /update", func(w http.ResponseWriter, r *http.Request) {
+		var req UpdateRequest
+		if !decodeInto(w, r, maxUpdateBody, &req) {
 			return
 		}
 		res, err := e.Update(req)
@@ -62,24 +99,138 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		writeJSON(w, http.StatusOK, res)
 	})
-	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-			return
-		}
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Stats())
 	})
-	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
-		if r.Method != http.MethodGet {
-			writeError(w, http.StatusMethodNotAllowed, errors.New("use GET"))
-			return
-		}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":  "ok",
 			"queries": e.queries.Load(),
 		})
 	})
+	// The method patterns above answer the happy paths; these bare-path
+	// fallbacks catch every other verb so wrong-method requests keep the
+	// documented JSON error shape instead of the mux's text/plain 405.
+	for path, allow := range map[string]string{
+		"/query":        "POST",
+		"/prepare":      "POST",
+		"/prepare/{id}": "DELETE",
+		"/update":       "POST",
+		"/stats":        "GET",
+		"/healthz":      "GET",
+	} {
+		mux.HandleFunc(path, func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Allow", allow)
+			writeError(w, http.StatusMethodNotAllowed, fmt.Errorf("use %s", allow))
+		})
+	}
 	return mux
+}
+
+// streamQuery answers one eval request as NDJSON (one JSON object per
+// line) instead of a buffered response: a header line carrying the
+// variable order, one {"row": [...]} line per result tuple as the
+// sequential engine finds it, and a {"summary": {...}} trailer with the
+// row count — or an {"error": "..."} line if the query fails or is
+// cancelled mid-stream (the HTTP status is already out by then, which
+// is the standard NDJSON trade). Unlike eval mode, nothing is buffered
+// and no tuple cap applies unless the request sets "limit" (then the
+// scan stops early and the trailer reports truncated). The stream is
+// driven through a prepared statement's Rows iterator, so the plan
+// cache serves repeats here too.
+func streamQuery(e *Engine, w http.ResponseWriter, r *http.Request, req Request) {
+	req.Mode = ""
+	// wmu serializes the response writer between the scan (encoding
+	// rows) and the background flusher that drains buffered rows when
+	// the scan goes quiet — without it, a burst of rows under the
+	// per-row flush threshold followed by a long matchless stretch
+	// would sit in the HTTP buffer until the trailer.
+	var wmu sync.Mutex
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	dirty := false
+	flush := func() { // callers hold wmu
+		if flusher != nil {
+			flusher.Flush()
+		}
+		dirty = false
+	}
+	if flusher != nil {
+		// The background flusher only earns its ticker when flushing
+		// can actually reach the client.
+		stopTick := make(chan struct{})
+		defer close(stopTick)
+		go func() {
+			tick := time.NewTicker(streamFlushAfter)
+			defer tick.Stop()
+			for {
+				select {
+				case <-stopTick:
+					return
+				case <-tick.C:
+					wmu.Lock()
+					if dirty {
+						flush()
+					}
+					wmu.Unlock()
+				}
+			}
+		}()
+	}
+
+	started := false
+	var rows int64
+	sum, err := e.StreamCtx(r.Context(), req,
+		func(order []string) {
+			// The plan compiled: commit to the NDJSON stream. Failures
+			// before this point still get an ordinary JSON error status.
+			wmu.Lock()
+			defer wmu.Unlock()
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			started = true
+			_ = enc.Encode(map[string]any{"order": order})
+			flush()
+		},
+		func(mu []int64) bool {
+			wmu.Lock()
+			defer wmu.Unlock()
+			_ = enc.Encode(map[string]any{"row": mu})
+			if rows++; rows%streamFlushEvery == 0 {
+				flush()
+			} else {
+				dirty = true
+			}
+			return true
+		})
+	wmu.Lock()
+	defer wmu.Unlock()
+	if err != nil {
+		if !started {
+			writeError(w, errStatus(err), err)
+			return
+		}
+		_ = enc.Encode(map[string]string{"error": err.Error()})
+		flush()
+		return
+	}
+	_ = enc.Encode(map[string]any{"summary": map[string]any{
+		"count":     sum.Count,
+		"truncated": sum.Truncated,
+	}})
+	flush()
+}
+
+// decodeInto reads a bounded JSON body into v, answering the error
+// itself and reporting whether the handler should continue.
+func decodeInto(w http.ResponseWriter, r *http.Request, limit int64, v any) bool {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, limit))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return false
+	}
+	return true
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -92,4 +243,20 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 
 func writeError(w http.ResponseWriter, status int, err error) {
 	writeJSON(w, status, map[string]string{"error": err.Error()})
+}
+
+// errStatus maps an execution error to an HTTP status: a query that
+// ran out of wall-clock budget answers 504 (a server-side execution
+// deadline; 408 would invite spec-compliant clients to auto-retry the
+// join that just timed out), a cancelled one answers the de-facto
+// client-closed-request status, everything else is a caller error.
+func errStatus(err error) int {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		return 499 // client closed request (nginx convention)
+	default:
+		return http.StatusBadRequest
+	}
 }

@@ -6,6 +6,8 @@ import (
 	"net/http/httptest"
 	"strings"
 	"testing"
+
+	"repro/internal/dataset"
 )
 
 func newTestServer(t *testing.T) (*httptest.Server, *Engine) {
@@ -82,14 +84,22 @@ func TestHTTPQueryErrors(t *testing.T) {
 		}
 	}
 
-	// Wrong method on every route.
+	// Wrong method on every route answers the documented JSON error
+	// shape, not the mux's text/plain 405.
 	resp, err := http.Get(srv.URL + "/query")
 	if err != nil {
 		t.Fatal(err)
 	}
+	var e405 map[string]string
+	if err := json.NewDecoder(resp.Body).Decode(&e405); err != nil {
+		t.Fatalf("GET /query: non-JSON 405 body: %v", err)
+	}
 	resp.Body.Close()
-	if resp.StatusCode != http.StatusMethodNotAllowed {
-		t.Fatalf("GET /query: status %d, want 405", resp.StatusCode)
+	if resp.StatusCode != http.StatusMethodNotAllowed || e405["error"] == "" {
+		t.Fatalf("GET /query: status %d body %v, want JSON 405", resp.StatusCode, e405)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("GET /query 405 Content-Type = %q", ct)
 	}
 	resp, err = http.Post(srv.URL+"/stats", "application/json", strings.NewReader("{}"))
 	if err != nil {
@@ -137,6 +147,215 @@ func TestHTTPStatsAndHealthz(t *testing.T) {
 	}
 	if h["status"] != "ok" {
 		t.Fatalf("healthz = %v", h)
+	}
+}
+
+func TestHTTPPrepareAndExecuteByID(t *testing.T) {
+	srv, _ := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/prepare", "application/json",
+		strings.NewReader(`{"query": "E(x,y), E(y,z), E(x,z)", "workers": 1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var prep map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&prep); err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prepare: status %d body %v", resp.StatusCode, prep)
+	}
+	id, _ := prep["stmt"].(string)
+	if id == "" || prep["query"] == "" {
+		t.Fatalf("prepare response %v", prep)
+	}
+
+	// Execute by id: the prepare-time compile makes even the first
+	// execution a plan-cache hit.
+	hresp, body := postQuery(t, srv, `{"stmt": "`+id+`"}`)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("by-id query: status %d body %v", hresp.StatusCode, body)
+	}
+	stats, _ := body["stats"].(map[string]any)
+	if stats == nil || stats["plan_cached"] != true {
+		t.Fatalf("by-id execution not plan-cached: %v", body)
+	}
+
+	// The hit/miss history shows up in /stats.
+	sresp, err := http.Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	var s EngineStats
+	if err := json.NewDecoder(sresp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Plans.Hits == 0 || s.Plans.Misses == 0 || s.Prepared != 1 {
+		t.Fatalf("stats plans = %+v prepared = %d, want hits+misses and 1 stmt", s.Plans, s.Prepared)
+	}
+
+	// Close over HTTP; executing the closed id fails.
+	req, err := http.NewRequest(http.MethodDelete, srv.URL+"/prepare/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dresp.Body.Close()
+	if dresp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE /prepare/%s: status %d", id, dresp.StatusCode)
+	}
+	gone, body := postQuery(t, srv, `{"stmt": "`+id+`"}`)
+	if gone.StatusCode != http.StatusBadRequest {
+		t.Fatalf("closed stmt: status %d body %v", gone.StatusCode, body)
+	}
+	req2, _ := http.NewRequest(http.MethodDelete, srv.URL+"/prepare/nope", nil)
+	nresp, err := http.DefaultClient.Do(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nresp.Body.Close()
+	if nresp.StatusCode != http.StatusNotFound {
+		t.Fatalf("DELETE unknown stmt: status %d, want 404", nresp.StatusCode)
+	}
+}
+
+func TestHTTPStreamNDJSON(t *testing.T) {
+	srv, e := newTestServer(t)
+	resp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"query": "E(x,y), E(y,z), E(x,z)", "mode": "stream"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	dec := json.NewDecoder(resp.Body)
+	var header struct {
+		Order []string `json:"order"`
+	}
+	if err := dec.Decode(&header); err != nil || len(header.Order) != 3 {
+		t.Fatalf("header = %+v, %v", header, err)
+	}
+	var rows int64
+	var summary map[string]any
+	for dec.More() {
+		var line map[string]any
+		if err := dec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		switch {
+		case line["row"] != nil:
+			if len(line["row"].([]any)) != len(header.Order) {
+				t.Fatalf("row %v misaligned with order %v", line["row"], header.Order)
+			}
+			rows++
+		case line["summary"] != nil:
+			summary = line["summary"].(map[string]any)
+		case line["error"] != nil:
+			t.Fatalf("stream error: %v", line["error"])
+		}
+	}
+	want := seqCount(t, e.DB(), "E(x,y), E(y,z), E(x,z)")
+	if rows != want {
+		t.Fatalf("streamed %d rows, want %d", rows, want)
+	}
+	if summary == nil || int64(summary["count"].(float64)) != want || summary["truncated"] != false {
+		t.Fatalf("summary = %v, want count %d", summary, want)
+	}
+
+	// A limit stops the stream early and flags truncation.
+	lresp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"query": "E(x,y), E(y,z), E(x,z)", "mode": "stream", "limit": 2}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	ldec := json.NewDecoder(lresp.Body)
+	var lrows int64
+	var lsummary map[string]any
+	for ldec.More() {
+		var line map[string]any
+		if err := ldec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line["row"] != nil {
+			lrows++
+		}
+		if line["summary"] != nil {
+			lsummary = line["summary"].(map[string]any)
+		}
+	}
+	if lrows != 2 || lsummary == nil || lsummary["truncated"] != true {
+		t.Fatalf("limited stream: %d rows, summary %v", lrows, lsummary)
+	}
+
+	// Compile failures surface as an ordinary JSON error status, not a
+	// broken stream.
+	eresp, ebody := postQuery(t, srv, `{"query": "Z(x,y)", "mode": "stream"}`)
+	if eresp.StatusCode != http.StatusBadRequest || ebody["error"] == nil {
+		t.Fatalf("stream compile error: status %d body %v", eresp.StatusCode, ebody)
+	}
+
+	// Streaming a prepared statement honors the prepare-time default
+	// limit when the stream request sets none.
+	presp, err := http.Post(srv.URL+"/prepare", "application/json",
+		strings.NewReader(`{"query": "E(x,y), E(y,z)", "limit": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	var prep map[string]any
+	if err := json.NewDecoder(presp.Body).Decode(&prep); err != nil {
+		t.Fatal(err)
+	}
+	sresp, err := http.Post(srv.URL+"/query", "application/json",
+		strings.NewReader(`{"stmt": "`+prep["stmt"].(string)+`", "mode": "stream"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	sdec := json.NewDecoder(sresp.Body)
+	var srows int64
+	var ssummary map[string]any
+	for sdec.More() {
+		var line map[string]any
+		if err := sdec.Decode(&line); err != nil {
+			t.Fatal(err)
+		}
+		if line["row"] != nil {
+			srows++
+		}
+		if line["summary"] != nil {
+			ssummary = line["summary"].(map[string]any)
+		}
+	}
+	if srows != 4 || ssummary == nil || ssummary["truncated"] != true {
+		t.Fatalf("prepared-default limit ignored by stream: %d rows, summary %v", srows, ssummary)
+	}
+}
+
+func TestHTTPTimeoutStatus(t *testing.T) {
+	e := NewEngine(dataset.CliqueUnion(500, 280, 18, 1.6, 9).DB(false), Config{Workers: 1})
+	srv := httptest.NewServer(NewHandler(e))
+	t.Cleanup(srv.Close)
+
+	// Warm the plan so the 1ms budget lands mid-join.
+	warm, body := postQuery(t, srv, `{"query": "E(a,b), E(b,c), E(c,d), E(d,e), E(e,a)"}`)
+	if warm.StatusCode != http.StatusOK {
+		t.Fatalf("warm: %d %v", warm.StatusCode, body)
+	}
+	resp, body := postQuery(t, srv, `{"query": "E(a,b), E(b,c), E(c,d), E(d,e), E(e,a)", "timeout_ms": 1}`)
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("timeout status = %d (%v), want 504", resp.StatusCode, body)
 	}
 }
 

@@ -1,0 +1,242 @@
+package server
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/relation"
+)
+
+// DefaultPlanCacheSize is the plan cache capacity (compiled plans) when
+// the config does not name one.
+const DefaultPlanCacheSize = 128
+
+// planKey identifies one compiled plan: the canonical query text, the
+// plan-affecting options, and the version sub-vector of the relations
+// the query touches. Keying the cache on the version vector is what
+// makes invalidation free: an update to relation R changes R's version
+// number, so every later execution of a query touching R assembles a
+// key no stale entry can match — the old plan is unreachable by
+// construction, without flushing, and without touching plans for
+// queries that never read R. Stale entries age out through the LRU
+// list like any other cold entry.
+type planKey struct {
+	// text is the canonical query text (cq.Query.String of the parsed
+	// query, so formatting variants of one query share an entry).
+	text string
+	// opts canonicalizes the plan-affecting request options (today:
+	// whether order-cost probing was skipped; execution-only knobs like
+	// workers or cache policy never enter the key).
+	opts string
+	// vers is the version sub-vector: "name:num" per relation the query
+	// references, sorted by name.
+	vers string
+}
+
+// planOptsKey canonicalizes the plan-affecting options of a request.
+func planOptsKey(req Request) string {
+	if req.NoOrderCost {
+		return "noc"
+	}
+	return ""
+}
+
+// versionVector renders the version sub-vector for the given sorted
+// relation names against the versions map (callers pass the engine's
+// installed-versions map while holding verMu, so the vector is atomic
+// with the snapshot it describes). Relations the engine does not store
+// (unknown names surface as compile errors later) render as "?".
+func versionVector(names []string, versions map[string]relation.Version) string {
+	var b strings.Builder
+	for i, name := range names {
+		if i > 0 {
+			b.WriteByte(';')
+		}
+		b.WriteString(name)
+		b.WriteByte(':')
+		if v, ok := versions[name]; ok {
+			fmt.Fprintf(&b, "%d", v.Num)
+		} else {
+			b.WriteByte('?')
+		}
+	}
+	return b.String()
+}
+
+// PlanCacheStats reports the plan cache's lifetime activity and current
+// residency, served under "plans" in GET /stats.
+type PlanCacheStats struct {
+	// Hits and Misses count executions served by a cached plan and
+	// executions that had to compile (parse + TD selection + plan
+	// compilation), respectively.
+	Hits   int64 `json:"hits"`
+	Misses int64 `json:"misses"`
+	// Evictions counts entries dropped to respect the capacity bound;
+	// Invalidations counts entries dropped eagerly by updates to a
+	// relation they touch (their keys were already unreachable — the
+	// drop releases the trie indices the stale plans pinned).
+	Evictions     int64 `json:"evictions"`
+	Invalidations int64 `json:"invalidations"`
+	// Size and Capacity describe the current residency (Capacity 0:
+	// the cache is disabled).
+	Size     int `json:"size"`
+	Capacity int `json:"capacity"`
+}
+
+func (s PlanCacheStats) String() string {
+	return fmt.Sprintf("size=%d capacity=%d hits=%d misses=%d evictions=%d invalidations=%d",
+		s.Size, s.Capacity, s.Hits, s.Misses, s.Evictions, s.Invalidations)
+}
+
+// planCache is an LRU cache of compiled plans. Cached plans are stored
+// with a nil counters sink; executions attach per-request accounting
+// via Plan.WithCounters, so one resident plan serves any number of
+// concurrent requests. Concurrent misses on one key may compile the
+// same plan twice and both store it — compilation is pure, so the
+// duplicate work is benign and not worth a singleflight (the expensive
+// shared part, trie construction, is already singleflighted by the trie
+// registry underneath).
+type planCache struct {
+	mu          sync.Mutex
+	cap         int
+	entries     map[planKey]*planEntry
+	head        *planEntry // least recently used (next victim)
+	tail        *planEntry // most recently used
+	hits        int64
+	misses      int64
+	evicted     int64
+	invalidated int64
+}
+
+type planEntry struct {
+	key  planKey
+	plan *core.Plan
+	// names are the relations the plan touches (the sub-vector's
+	// components), so an update can drop exactly the entries it staled.
+	names      []string
+	prev, next *planEntry
+}
+
+// newPlanCache returns an LRU plan cache holding at most capacity
+// compiled plans; capacity <= 0 returns nil (caching disabled — every
+// execution compiles, the E14 control arm).
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache{cap: capacity, entries: make(map[planKey]*planEntry)}
+}
+
+// get returns the cached plan for key, refreshing its recency. The miss
+// is counted here so hit-rate accounting lives in one place.
+func (pc *planCache) get(key planKey) (*core.Plan, bool) {
+	if pc == nil {
+		return nil, false
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[key]
+	if !ok {
+		pc.misses++
+		return nil, false
+	}
+	pc.hits++
+	if pc.tail != e {
+		pc.unlink(e)
+		pc.pushBack(e)
+	}
+	return e.plan, true
+}
+
+// put stores a compiled plan, evicting the least recently used entry
+// past capacity. Re-storing an existing key (two requests raced on the
+// same miss) keeps the incumbent. names are the relations the plan
+// touches (retained for invalidateTouching).
+func (pc *planCache) put(key planKey, p *core.Plan, names []string) {
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	if _, ok := pc.entries[key]; ok {
+		return
+	}
+	e := &planEntry{key: key, plan: p, names: names}
+	pc.entries[key] = e
+	pc.pushBack(e)
+	for len(pc.entries) > pc.cap {
+		victim := pc.head
+		pc.unlink(victim)
+		delete(pc.entries, victim.key)
+		pc.evicted++
+	}
+}
+
+// invalidateTouching drops every cached plan that references the given
+// relation. Correctness never needs this — an update bumps the
+// relation's version, so stale keys are unreachable by construction —
+// but dropping them eagerly releases the trie indices the stale plans
+// pin, keeping resident memory proportional to the *live* plan set
+// under continuous updates instead of to the LRU capacity. (A query
+// racing the update may re-insert one entry for the superseded
+// snapshot it already admitted against; it is unreachable afterwards
+// and ages out through the LRU like any cold entry.)
+func (pc *planCache) invalidateTouching(name string) {
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for key, e := range pc.entries {
+		for _, n := range e.names {
+			if n == name {
+				pc.unlink(e)
+				delete(pc.entries, key)
+				pc.invalidated++
+				break
+			}
+		}
+	}
+}
+
+func (pc *planCache) stats() PlanCacheStats {
+	if pc == nil {
+		return PlanCacheStats{}
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	return PlanCacheStats{
+		Hits:          pc.hits,
+		Misses:        pc.misses,
+		Evictions:     pc.evicted,
+		Invalidations: pc.invalidated,
+		Size:          len(pc.entries),
+		Capacity:      pc.cap,
+	}
+}
+
+func (pc *planCache) pushBack(e *planEntry) {
+	e.prev, e.next = pc.tail, nil
+	if pc.tail != nil {
+		pc.tail.next = e
+	} else {
+		pc.head = e
+	}
+	pc.tail = e
+}
+
+func (pc *planCache) unlink(e *planEntry) {
+	if e.prev != nil {
+		e.prev.next = e.next
+	} else {
+		pc.head = e.next
+	}
+	if e.next != nil {
+		e.next.prev = e.prev
+	} else {
+		pc.tail = e.prev
+	}
+	e.prev, e.next = nil, nil
+}

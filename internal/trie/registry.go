@@ -35,13 +35,14 @@ import (
 type Registry struct {
 	budget int64 // max resident bytes; 0 = unbounded
 
-	mu      sync.Mutex
-	entries map[regKey]*regEntry
-	lineage map[*relation.Relation]relation.Version
-	bytes   int64
-	head    *regEntry // least recently used (next victim)
-	tail    *regEntry // most recently used
-	stats   RegistryStats
+	mu        sync.Mutex
+	entries   map[regKey]*regEntry
+	lineage   map[*relation.Relation]relation.Version
+	bytes     int64
+	head      *regEntry // least recently used (next victim)
+	tail      *regEntry // most recently used
+	stats     RegistryStats
+	evictHook func(rel *relation.Relation)
 }
 
 // regKey identifies one cached trie: the identity of the (immutable)
@@ -99,6 +100,20 @@ func NewRegistry(budgetBytes int64) *Registry {
 		entries: make(map[regKey]*regEntry),
 		lineage: make(map[*relation.Relation]relation.Version),
 	}
+}
+
+// SetEvictHook registers f to be invoked with the relation of every
+// entry dropped by byte-budget eviction (not by Release — epoch
+// reclamation is already coordinated by the caller). A resident engine
+// uses it to drop cached plans that embed the evicted index: without
+// that, a plan cache would keep budget-evicted tries alive while the
+// registry reports their bytes reclaimed, and later compiles would
+// build duplicates. f runs with the registry lock held and must not
+// call back into the registry.
+func (r *Registry) SetEvictHook(f func(rel *relation.Relation)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.evictHook = f
 }
 
 // Observe records a relation version's lineage so later Trie requests
@@ -273,6 +288,9 @@ func (r *Registry) evictOver(keep *regEntry) {
 			delete(r.entries, e.key)
 			r.bytes -= e.bytes
 			r.stats.Evictions++
+			if r.evictHook != nil {
+				r.evictHook(e.key.rel)
+			}
 		}
 		e = next
 	}
