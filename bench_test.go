@@ -44,6 +44,7 @@ func BenchmarkE11Parallel(b *testing.B)      { benchExperiment(b, bench.Parallel
 func BenchmarkE12Service(b *testing.B)       { benchExperiment(b, bench.ServiceThroughput) }
 func BenchmarkE13Updates(b *testing.B)       { benchExperiment(b, bench.IncrementalUpdates) }
 func BenchmarkE14Prepared(b *testing.B)      { benchExperiment(b, bench.PreparedStatements) }
+func BenchmarkE15Micro(b *testing.B)         { benchExperiment(b, bench.HotPath) }
 
 // Per-engine micro-benchmarks: a fixed skewed graph and query so the
 // three algorithms' costs are directly comparable in one `-bench` run.

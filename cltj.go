@@ -239,11 +239,25 @@ func (o Options) policy() Policy {
 	return pol
 }
 
+// buildWorkersOf maps the facade's Workers knob (0: one per core) to
+// the builders' convention (0/1: sequential; < 0: one per core).
+func buildWorkersOf(workers int) int {
+	if workers == 0 {
+		return -1
+	}
+	return workers
+}
+
 // NewPlan compiles a CLFTJ plan per the options (automatic TD selection
-// when opts.TD is nil).
+// when opts.TD is nil). Options.Workers also bounds the goroutines each
+// private trie build may use during compilation (0: one per core).
 func NewPlan(q *Query, db *DB, opts Options) (*Plan, error) {
 	if opts.TD == nil {
-		return core.AutoPlan(q, db, core.AutoOptions{Counters: opts.Counters, Tries: opts.Tries})
+		return core.AutoPlan(q, db, core.AutoOptions{
+			Counters:     opts.Counters,
+			Tries:        opts.Tries,
+			BuildWorkers: buildWorkersOf(opts.Workers),
+		})
 	}
 	order := opts.Order
 	if order == nil {
@@ -366,7 +380,10 @@ func CountLFTJ(q *Query, db *DB, counters *Counters) (int64, error) {
 // given number of worker goroutines (0: one per core, 1: sequential).
 // counters may be nil; per-worker accounting is merged into it exactly.
 func CountLFTJParallel(q *Query, db *DB, workers int, counters *Counters) (int64, error) {
-	inst, err := leapfrog.Build(q, db, q.Vars(), counters)
+	inst, err := leapfrog.BuildOptions(q, db, q.Vars(), leapfrog.BuildOpts{
+		Counters: counters,
+		Workers:  buildWorkersOf(workers),
+	})
 	if err != nil {
 		return 0, err
 	}

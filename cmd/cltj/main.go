@@ -6,7 +6,7 @@
 //
 //	cltj -query 5-cycle -data graph.txt [-algo clftj|lftj|ytd|pairwise]
 //	     [-eval] [-cache N] [-support N] [-workers K] [-timeout DUR]
-//	     [-symmetric] [-show-td]
+//	     [-symmetric] [-show-td] [-cpuprofile out.pprof]
 //	cltj -updates deltas.txt ...                      # replay deltas first
 //	cltj -queries workload.txt [-trie-budget BYTES]   # batch over one engine
 //	cltj -serve :8372 [-trie-budget BYTES]            # HTTP/JSON service
@@ -45,6 +45,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -97,12 +98,27 @@ func run(args []string, stdout, stderr io.Writer) int {
 	updatesFlag := fs.String("updates", "", "replay a delta file ('+ R v...' / '- R v...' / 'apply' lines) against the dataset before running")
 	serveFlag := fs.String("serve", "", "serve mode: listen on this address (e.g. :8372) and answer HTTP/JSON queries over the loaded dataset")
 	budgetFlag := fs.Int64("trie-budget", 0, "resident trie byte budget for -queries/-serve (0 = unbounded)")
+	cpuProfileFlag := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (analyze with `go tool pprof`)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "cltj:", err)
 		return 1
+	}
+	if *cpuProfileFlag != "" {
+		pf, err := os.Create(*cpuProfileFlag)
+		if err != nil {
+			return fail(err)
+		}
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			pf.Close()
+			return fail(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			pf.Close()
+		}()
 	}
 
 	db, g, err := dataset.LoadDB(rels, *dataFlag, *symFlag)

@@ -15,7 +15,7 @@ import (
 // CLFTJ. The paper reports 45·10^9 / 16·10^9 / 1.4·10^9; at our scale the
 // absolute numbers shrink but the ordering LFTJ ≫ YTD > CLFTJ must hold.
 func IntroMemoryAccesses(cfg Config) *Table {
-	g := cfg.graphs()[2] // ca-GrQc*
+	g := cfg.caGrQc()
 	db := g.DB(false)
 	q := queries.Cycle(5)
 

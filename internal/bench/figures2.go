@@ -222,6 +222,7 @@ func Experiments() []Experiment {
 		{"E12 (service)", ServiceThroughput},
 		{"E13 (updates)", IncrementalUpdates},
 		{"E14 (prepared)", PreparedStatements},
+		{"E15 (hot path)", HotPath},
 	}
 }
 

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/leapfrog"
+	"repro/internal/queries"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/trie"
+)
+
+// HotPath (E15) micro-benchmarks the join core's mechanical layer —
+// the pieces the hot-path overhaul rewrote — in isolation from plan
+// selection and datasets:
+//
+//   - seek-length sweep: ns and charged accesses per SeekGE as the seek
+//     distance grows (galloping keeps short seeks cheap; the charged
+//     model cost stays the historical binary-search count);
+//   - frog arity sweep: ns per match of the k-way unary leapfrog
+//     intersection (allocation-free Init, wrapping leg advance);
+//   - build throughput: rows/s of the columnar two-pass trie builder,
+//     sequential vs per-core parallel spans;
+//   - allocation audit: allocs/op of a steady-state pooled Count.
+//
+// The DESIGN.md "hot path" section and the README performance table
+// quote this table; the CI benchstat gate tracks its wall-clock.
+func HotPath(cfg Config) *Table {
+	t := &Table{
+		ID:     "E15 (hot path)",
+		Title:  "join-core micro-benchmarks: seeks, frogs, builds, allocations",
+		Header: []string{"micro", "case", "work", "ns/op", "accesses/op"},
+	}
+	seekSweep(cfg, t)
+	frogSweep(cfg, t)
+	buildSweep(cfg, t)
+	allocAudit(cfg, t)
+	return t
+}
+
+// seekSweep scans one trie level with fixed-stride seeks: stride s over
+// a dense level makes every seek travel distance ~s/2.
+func seekSweep(cfg Config, t *Table) {
+	n := 1 << 16
+	if cfg.Quick {
+		n = 1 << 13
+	}
+	tuples := make([][]int64, n)
+	for i := range tuples {
+		tuples[i] = []int64{int64(2 * i)}
+	}
+	rel := relation.MustNew("S", 1, tuples)
+	tr := trie.Build(rel, nil)
+	for _, stride := range []int64{1, 4, 16, 256, 4096} {
+		var c stats.Counters
+		seeks := 0
+		start := time.Now()
+		rounds := 1 + (1<<14)/n
+		for r := 0; r < rounds; r++ {
+			it := tr.NewIteratorCounters(&c)
+			it.Open()
+			// Odd targets fall between values, so every seek searches.
+			for v := int64(1); ; v += 2 * stride {
+				it.SeekGE(v)
+				if it.AtEnd() {
+					break
+				}
+				seeks++
+			}
+			it.Flush()
+		}
+		el := time.Since(start)
+		if seeks == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			"seek", fmt.Sprintf("stride %d", stride), fmt.Sprintf("%d seeks", seeks),
+			fmt.Sprintf("%.1f", float64(el.Nanoseconds())/float64(seeks)),
+			fmt.Sprintf("%.2f", float64(c.TrieAccesses)/float64(seeks)),
+		})
+	}
+}
+
+// frogSweep intersects k shifted residue sequences — every leg at one
+// trie level — and reports the cost per emitted match.
+func frogSweep(cfg Config, t *Table) {
+	n := 1 << 15
+	if cfg.Quick {
+		n = 1 << 12
+	}
+	for _, k := range []int{2, 3, 5} {
+		legs := make([]*trie.Iterator, k)
+		var c stats.Counters
+		for i := 0; i < k; i++ {
+			tuples := make([][]int64, 0, n)
+			for v := 0; v < n; v++ {
+				if v%(i+2) != 1 { // thin each leg differently
+					tuples = append(tuples, []int64{int64(v)})
+				}
+			}
+			rel := relation.MustNew(fmt.Sprintf("L%d", i), 1, tuples)
+			legs[i] = trie.Build(rel, nil).NewIteratorCounters(&c)
+			legs[i].Open()
+		}
+		f := leapfrog.NewFrog(legs)
+		matches := 0
+		start := time.Now()
+		for ok := f.Init(); ok; ok = f.Next() {
+			matches++
+		}
+		el := time.Since(start)
+		for _, l := range legs {
+			l.Flush()
+		}
+		if matches == 0 {
+			continue
+		}
+		t.Rows = append(t.Rows, []string{
+			"frog", fmt.Sprintf("%d legs", k), fmt.Sprintf("%d matches", matches),
+			fmt.Sprintf("%.1f", float64(el.Nanoseconds())/float64(matches)),
+			fmt.Sprintf("%.2f", float64(c.TrieAccesses)/float64(matches)),
+		})
+	}
+}
+
+// buildSweep measures trie construction throughput over a skewed 3-ary
+// relation, sequential vs one worker per core.
+func buildSweep(cfg Config, t *Table) {
+	n := 200_000
+	if cfg.Quick {
+		n = 40_000
+	}
+	rng := rand.New(rand.NewSource(515))
+	tuples := make([][]int64, n)
+	for i := range tuples {
+		tuples[i] = []int64{int64(rng.Intn(n / 64)), int64(rng.Intn(256)), int64(rng.Intn(1 << 30))}
+	}
+	rel := relation.MustNew("B", 3, tuples)
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		rounds := 3
+		start := time.Now()
+		for r := 0; r < rounds; r++ {
+			trie.BuildParallel(rel, nil, workers)
+		}
+		el := time.Since(start) / time.Duration(rounds)
+		rows := float64(rel.Len())
+		t.Rows = append(t.Rows, []string{
+			"build", fmt.Sprintf("%d workers", workers),
+			fmt.Sprintf("%.1fM rows/s", rows/el.Seconds()/1e6),
+			fmt.Sprintf("%.0f", float64(el.Nanoseconds())/rows), "-",
+		})
+		if workers == runtime.GOMAXPROCS(0) {
+			break // one row when GOMAXPROCS == 1
+		}
+	}
+}
+
+// allocAudit reports the steady-state allocation rate of a pooled
+// count — the "0 allocs/op" claim, measured rather than asserted here
+// (the tier-1 assertion lives in internal/leapfrog).
+func allocAudit(cfg Config, t *Table) {
+	g := queries.Cycle(4)
+	db := cfg.pathGraphs()[0].DB(false)
+	inst, err := leapfrog.Build(g, db, g.Vars(), nil)
+	if err != nil {
+		return
+	}
+	leapfrog.Count(inst) // warm the runner pool
+	start := time.Now()
+	rounds := 0
+	allocs := testing.AllocsPerRun(8, func() {
+		leapfrog.Count(inst)
+		rounds++
+	})
+	el := time.Since(start)
+	t.Rows = append(t.Rows, []string{
+		"count", "steady state", fmt.Sprintf("%d runs", rounds),
+		fmt.Sprintf("%.0f", float64(el.Nanoseconds())/float64(rounds)),
+		fmt.Sprintf("%.0f allocs", allocs),
+	})
+}

@@ -115,6 +115,7 @@ func AggregateCtx[T any](ctx context.Context, p *Plan, policy Policy, sr Semirin
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0, sr.One)
+	e.run.Release()
 	if err := e.cancel.Err(); err != nil {
 		return sr.Zero, err
 	}

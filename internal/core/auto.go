@@ -29,6 +29,11 @@ type AutoOptions struct {
 	// it, so a long-lived engine compiles repeated queries without a
 	// single trie build. May be nil.
 	Tries leapfrog.TrieSource
+	// BuildWorkers bounds the goroutines each private trie build of the
+	// final plan may use (0 or 1: sequential; < 0: one per core); see
+	// leapfrog.BuildOpts.Workers. Order-cost probe builds stay
+	// sequential — they are throwaway and already amortized.
+	BuildWorkers int
 }
 
 // AutoPlan selects a tree decomposition for q following §4: enumerate
@@ -80,7 +85,11 @@ func AutoPlan(q *cq.Query, db *relation.DB, opts AutoOptions) (*Plan, error) {
 	for d, xi := range orderIdx {
 		order[d] = qvars[xi]
 	}
-	return NewPlanWith(q, db, tree, order, opts.Counters, opts.Tries)
+	return newPlan(q, db, tree, order, leapfrog.BuildOpts{
+		Counters: opts.Counters,
+		Tries:    opts.Tries,
+		Workers:  opts.BuildWorkers,
+	})
 }
 
 // chargedSource redirects a trie source's accounting to a fixed sink:

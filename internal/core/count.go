@@ -45,6 +45,7 @@ func (p *Plan) CountCtx(ctx context.Context, policy Policy) (CountResult, error)
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0, 1)
+	e.run.Release()
 	if err := e.cancel.Err(); err != nil {
 		return CountResult{}, err
 	}

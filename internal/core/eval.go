@@ -55,6 +55,7 @@ func (p *Plan) EvalCtx(ctx context.Context, policy Policy, emit func(mu []int64)
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0)
+	e.run.Release()
 	if err := e.cancel.Err(); err != nil {
 		return EvalResult{Emitted: e.emitted}, err
 	}
@@ -96,6 +97,7 @@ func (p *Plan) EvalFactorized(policy Policy) factorized.Set {
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0)
+	e.run.Release()
 	return e.sets[p.root]
 }
 

@@ -80,6 +80,7 @@ func (p *Plan) CountParallelCtx(ctx context.Context, policy Policy) (CountResult
 		}
 		e.mu = e.run.Assignment()
 		e.shardScan(keys, w, workers)
+		e.run.Release()
 		totals[w] = e.total
 		entries[w] = e.cm.Entries()
 	})
@@ -164,6 +165,7 @@ func AggregateParallelCtx[T any](ctx context.Context, p *Plan, policy Policy, sr
 		}
 		e.mu = e.run.Assignment()
 		e.shardScan(keys, wi, workers)
+		e.run.Release()
 		totals[wi] = e.total
 	})
 	if err := ctx.Err(); err != nil {
@@ -268,6 +270,7 @@ func (p *Plan) EvalParallelCtx(ctx context.Context, policy Policy, emit func(mu 
 		}
 		e.mu = e.run.Assignment()
 		e.shardScan(keys, w, workers, func(i int) { cur = i })
+		e.run.Release()
 		entries[w] = e.cm.Entries()
 	})
 	if err := ctx.Err(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"math/rand"
 	"reflect"
 	"sort"
+	"sync"
 	"testing"
 
 	"repro/internal/cq"
@@ -299,4 +300,42 @@ func TestParallelRandomizedEquivalence(t *testing.T) {
 				trial, q, pol.Workers, got, want)
 		}
 	}
+}
+
+// TestPooledRunnersParallelEvalRace exercises the per-instance runner
+// pool under concurrent parallel evaluation and counting — recycled
+// frogs and trie cursors crossing worker goroutines is exactly where a
+// pooling bug would race. Run under -race by the CI race job.
+func TestPooledRunnersParallelEvalRace(t *testing.T) {
+	db := dataset.TriadicPA(140, 3, 0.5, 21).DB(false)
+	q := queries.Cycle(4)
+	plan, err := AutoPlan(q, db, AutoOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Count(Policy{}).Count
+	if want == 0 {
+		t.Fatal("workload counts zero matches; test would prove nothing")
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				if g%2 == 0 {
+					var n int64
+					plan.EvalParallel(Policy{Workers: 3}, func(mu []int64) bool { n++; return true })
+					if n != want {
+						t.Errorf("parallel eval enumerated %d, want %d", n, want)
+						return
+					}
+				} else if got := plan.CountParallel(Policy{Workers: 3}).Count; got != want {
+					t.Errorf("parallel count = %d, want %d", got, want)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
 }

@@ -65,6 +65,12 @@ func NewPlan(q *cq.Query, db *relation.DB, tree *td.TD, order []string, counters
 // plan compilation reuses resident indices instead of rebuilding them
 // per query. tries may be nil.
 func NewPlanWith(q *cq.Query, db *relation.DB, tree *td.TD, order []string, counters *stats.Counters, tries leapfrog.TrieSource) (*Plan, error) {
+	return newPlan(q, db, tree, order, leapfrog.BuildOpts{Counters: counters, Tries: tries})
+}
+
+// newPlan compiles the plan with full build options (AutoPlan threads
+// the trie-build parallelism knob through here).
+func newPlan(q *cq.Query, db *relation.DB, tree *td.TD, order []string, bopts leapfrog.BuildOpts) (*Plan, error) {
 	if err := tree.Validate(q); err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
@@ -84,7 +90,7 @@ func NewPlanWith(q *cq.Query, db *relation.DB, tree *td.TD, order []string, coun
 	if !tree.StronglyCompatible(orderIdx) {
 		return nil, fmt.Errorf("core: tree decomposition is not strongly compatible with order %v", order)
 	}
-	inst, err := leapfrog.BuildWith(q, db, order, counters, tries)
+	inst, err := leapfrog.BuildOptions(q, db, order, bopts)
 	if err != nil {
 		return nil, err
 	}
@@ -94,7 +100,7 @@ func NewPlanWith(q *cq.Query, db *relation.DB, tree *td.TD, order []string, coun
 		tree:     tree,
 		order:    append([]string(nil), order...),
 		numVars:  len(order),
-		counters: counters,
+		counters: bopts.Counters,
 	}
 	if err := p.compile(orderIdx); err != nil {
 		return nil, err
@@ -244,6 +250,11 @@ func (p *Plan) compile(orderIdx []int) error {
 
 // Instance exposes the underlying leapfrog instance.
 func (p *Plan) Instance() *leapfrog.Instance { return p.inst }
+
+// Embedded returns the shared-registry indices the plan's instance
+// draws on (see leapfrog.Instance.Embedded) — what a plan cache tracks
+// to invalidate precisely on registry evictions.
+func (p *Plan) Embedded() []leapfrog.SourceEntry { return p.inst.Embedded() }
 
 // TD returns the plan's tree decomposition.
 func (p *Plan) TD() *td.TD { return p.tree }

@@ -37,6 +37,7 @@ func (s *Session) Count() CountResult {
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0, 1)
+	e.run.Release()
 	return CountResult{Count: e.total, CachedEntries: s.cm.Entries()}
 }
 

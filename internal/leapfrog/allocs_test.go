@@ -1,0 +1,64 @@
+package leapfrog
+
+import (
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/queries"
+	"repro/internal/stats"
+)
+
+// TestCountSteadyStateZeroAllocs is the tier-1 allocation gate of the
+// hot-path contract: once an instance's runner pool is warm, Count must
+// run the entire join — iterators, frogs, accounting — without a
+// single heap allocation. A regression here means something in the
+// inner loop started escaping (a closure, a sort, a fresh cursor) and
+// the per-visit allocation costs the tentpole removed are back.
+func TestCountSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation accounting")
+	}
+	for _, tc := range []struct {
+		name string
+		q    func() *cq.Query
+	}{
+		{"4-cycle", func() *cq.Query { return queries.Cycle(4) }},
+		{"triangle", func() *cq.Query { return queries.Clique(3) }},
+		{"5-path", func() *cq.Query { return queries.Path(5) }},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			inst := poolTestInstance(t, tc.q())
+			want := Count(inst) // warm the pool
+			if allocs := testing.AllocsPerRun(20, func() {
+				if Count(inst) != want {
+					t.Error("count drifted across pooled runs")
+				}
+			}); allocs != 0 {
+				t.Fatalf("Count steady state allocates %.1f objects/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCountersSteadyStateZeroAllocs covers the accounted path too: a
+// pooled runner bound to per-run counters must stay allocation-free
+// (the model-cost charging may not allocate either).
+func TestCountersSteadyStateZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation perturbs allocation accounting")
+	}
+	inst := poolTestInstance(t, queries.Cycle(4))
+	var c stats.Counters
+	r := NewRunnerCounters(inst, &c)
+	want := r.Count()
+	r.Release()
+	if allocs := testing.AllocsPerRun(20, func() {
+		r := NewRunnerCounters(inst, &c)
+		if r.Count() != want {
+			t.Error("count drifted across pooled runs")
+		}
+		r.Release()
+	}); allocs != 0 {
+		t.Fatalf("accounted Count steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}

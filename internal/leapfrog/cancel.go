@@ -6,28 +6,28 @@ import "context"
 // Canceler consults its context once per this many Poll calls (one call
 // per iterator advance in the join inner loops). The join engines are
 // CPU-bound recursions with no natural blocking points, so cancellation
-// is cooperative; a power-of-two period keeps the hot-path cost to one
-// increment and one mask test, while 2^8 advances are far below a
-// millisecond of work on any input, so a cancelled query unwinds well
-// inside the promptness budget the service tests enforce (50ms).
+// is cooperative; a countdown keeps the hot-path cost to one decrement
+// and one branch, while 2^8 advances are far below a millisecond of
+// work on any input, so a cancelled query unwinds well inside the
+// promptness budget the service tests enforce (50ms).
 const CancelCheckEvery = 256
 
 // Canceler adapts a context.Context to the join engines' inner loops:
-// Poll is cheap enough to call once per iterator advance, checks the
-// context only every CancelCheckEvery calls, and latches the first
-// error so that once a run is cancelled every subsequent Poll returns
-// true immediately and the recursion unwinds without further context
-// traffic. A nil *Canceler is valid and never cancels — NewCanceler
-// returns nil for contexts that cannot be cancelled, so uncancellable
-// runs pay only a nil check.
+// Poll is cheap enough to call once per iterator advance — a decrement
+// against a countdown that reaches zero every CancelCheckEvery calls —
+// and latches the first error so that once a run is cancelled every
+// subsequent Poll returns true immediately and the recursion unwinds
+// without further context traffic. A nil *Canceler is valid and never
+// cancels — NewCanceler returns nil for contexts that cannot be
+// cancelled, so uncancellable runs pay only a nil check.
 //
 // A Canceler is single-goroutine state: parallel engines give every
 // worker its own Canceler over the shared context, exactly as they give
 // every worker its own Counters.
 type Canceler struct {
-	ctx  context.Context
-	tick uint32
-	err  error
+	ctx context.Context
+	rem int32 // Polls until the next context consultation
+	err error
 }
 
 // NewCanceler wraps ctx for cooperative polling. It returns nil — the
@@ -38,29 +38,42 @@ func NewCanceler(ctx context.Context) *Canceler {
 	if ctx == nil || ctx.Done() == nil {
 		return nil
 	}
-	c := &Canceler{ctx: ctx}
-	c.err = ctx.Err()
+	c := &Canceler{ctx: ctx, rem: CancelCheckEvery}
+	if err := ctx.Err(); err != nil {
+		c.err = err
+		c.rem = 0 // every Poll takes the latched slow path
+	}
 	return c
 }
 
 // Poll reports whether the run should abort. Call it once per iterator
-// advance: every CancelCheckEvery-th call consults the context, and a
-// latched cancellation makes all later calls return true at once.
+// advance: the fast path is one decrement and one branch; every
+// CancelCheckEvery-th call consults the context, and a latched
+// cancellation makes all later calls return true at once.
 func (c *Canceler) Poll() bool {
 	if c == nil {
 		return false
 	}
-	if c.err != nil {
-		return true
-	}
-	c.tick++
-	if c.tick&(CancelCheckEvery-1) != 0 {
+	c.rem--
+	if c.rem > 0 {
 		return false
+	}
+	return c.pollSlow()
+}
+
+// pollSlow is the once-per-period context consultation, kept out of
+// Poll so the fast path inlines.
+func (c *Canceler) pollSlow() bool {
+	if c.err != nil {
+		c.rem = 0 // stay latched: every later Poll lands here
+		return true
 	}
 	if err := c.ctx.Err(); err != nil {
 		c.err = err
+		c.rem = 0
 		return true
 	}
+	c.rem = CancelCheckEvery
 	return false
 }
 

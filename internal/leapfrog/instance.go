@@ -8,6 +8,7 @@ package leapfrog
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/cq"
 	"repro/internal/relation"
@@ -35,6 +36,22 @@ type Instance struct {
 	legsAt   [][]int // legsAt[d] = indices of atoms participating at depth d
 	empty    bool    // some atom's derived relation is empty: result is ∅
 	counters *stats.Counters
+	embedded []SourceEntry // shared-source indices this instance draws on
+
+	// pool recycles Runners across executions (see Runner.Release):
+	// iterators, frogs and the assignment buffer are reused, so a warm
+	// instance counts and evaluates with zero allocations per run.
+	pool sync.Pool
+}
+
+// SourceEntry identifies one shared-source index an instance embeds:
+// the base relation (by identity) and the column-permutation signature
+// (trie.PermSig) its levels follow. A resident engine's plan cache
+// tracks these so a registry eviction invalidates exactly the plans
+// pinning the evicted index.
+type SourceEntry struct {
+	Rel  *relation.Relation
+	Perm string
 }
 
 // TrieSource supplies shared, immutable tries over permuted base
@@ -58,6 +75,19 @@ type TrieSource interface {
 	Trie(rel *relation.Relation, perm []int, c *stats.Counters) (*trie.Trie, error)
 }
 
+// BuildOpts bundles the optional knobs of instance compilation.
+type BuildOpts struct {
+	// Counters receives compile-time accounting (may be nil).
+	Counters *stats.Counters
+	// Tries is an optional shared trie source (see BuildWith).
+	Tries TrieSource
+	// Workers bounds the goroutines trie construction may use per index
+	// (0 or 1: sequential; <0: one per core). Only the private builds
+	// performed by this compilation are affected — a shared source
+	// applies its own build parallelism (trie.Registry.SetBuildWorkers).
+	Workers int
+}
+
 // Build compiles the query against db under the given variable order
 // (names; must be a permutation of q.Vars()). counters may be nil.
 //
@@ -66,7 +96,7 @@ type TrieSource interface {
 // to a distinct variable. Atoms left with no variables act as boolean
 // guards (an empty guard empties the result).
 func Build(q *cq.Query, db *relation.DB, order []string, counters *stats.Counters) (*Instance, error) {
-	return BuildWith(q, db, order, counters, nil)
+	return BuildOptions(q, db, order, BuildOpts{Counters: counters})
 }
 
 // BuildWith is Build with an optional trie source: when tries is non-nil,
@@ -76,6 +106,17 @@ func Build(q *cq.Query, db *relation.DB, order []string, counters *stats.Counter
 // variables always build privately, since their derived relations are
 // query-specific. tries may be nil, which is exactly Build.
 func BuildWith(q *cq.Query, db *relation.DB, order []string, counters *stats.Counters, tries TrieSource) (*Instance, error) {
+	return BuildOptions(q, db, order, BuildOpts{Counters: counters, Tries: tries})
+}
+
+// BuildOptions is the full-control compilation entry point: BuildWith
+// plus the trie-build parallelism knob.
+func BuildOptions(q *cq.Query, db *relation.DB, order []string, opts BuildOpts) (*Instance, error) {
+	counters, tries := opts.Counters, opts.Tries
+	buildWorkers := opts.Workers
+	if buildWorkers == 0 {
+		buildWorkers = 1
+	}
 	if err := q.Validate(); err != nil {
 		return nil, err
 	}
@@ -136,12 +177,13 @@ func BuildWith(q *cq.Query, db *relation.DB, order []string, counters *stats.Cou
 			if err != nil {
 				return nil, err
 			}
+			inst.embedded = append(inst.embedded, SourceEntry{Rel: rel, Perm: trie.PermSig(perm)})
 		} else {
 			permuted, err := derived.Permute(perm)
 			if err != nil {
 				return nil, err
 			}
-			tr = trie.Build(permuted, counters)
+			tr = trie.BuildParallel(permuted, counters, buildWorkers)
 		}
 		leg := AtomLeg{Trie: tr, VarPos: make([]int, len(vars))}
 		for i, p := range perm {
@@ -225,6 +267,12 @@ func (in *Instance) NumVars() int { return len(in.order) }
 // Empty reports whether some atom's derived relation is empty, forcing an
 // empty result.
 func (in *Instance) Empty() bool { return in.empty }
+
+// Embedded returns the shared-source indices the instance draws on (nil
+// when compiled without a trie source or when every atom built a
+// private index). The slice is owned by the instance; callers must not
+// modify it.
+func (in *Instance) Embedded() []SourceEntry { return in.embedded }
 
 // Legs returns the atom legs (for engines layered on the instance).
 func (in *Instance) Legs() []AtomLeg { return in.atoms }

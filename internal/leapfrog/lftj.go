@@ -8,7 +8,7 @@ import (
 )
 
 // Runner executes LFTJ over an Instance: TJCount of Fig. 1 and its
-// evaluation twin. A Runner holds per-run iterator state; create one per
+// evaluation twin. A Runner holds per-run iterator state; obtain one per
 // execution (Count and Eval below do so). It is exported because CLFTJ
 // (package core) drives the same machinery with cache hooks.
 type Runner struct {
@@ -16,12 +16,13 @@ type Runner struct {
 	iters  []*trie.Iterator // one per atom leg
 	frogs  []*Frog          // one per depth, legs bound at depth entry
 	legs   [][]*trie.Iterator
-	mu     []int64   // current partial assignment, by depth
-	cancel *Canceler // cooperative cancellation; nil never cancels
+	mu     []int64         // current partial assignment, by depth
+	cancel *Canceler       // cooperative cancellation; nil never cancels
+	c      *stats.Counters // the sink the iterators are bound to
 }
 
-// NewRunner prepares fresh iterators and per-depth frogs for one
-// execution over the instance, accounting into the instance's counters.
+// NewRunner prepares iterators and per-depth frogs for one execution
+// over the instance, accounting into the instance's counters.
 func NewRunner(inst *Instance) *Runner {
 	return NewRunnerCounters(inst, inst.counters)
 }
@@ -32,13 +33,39 @@ func NewRunner(inst *Instance) *Runner {
 // and a private Counters (merged after the workers join), so the
 // immutable tries are shared while all mutable state — cursors, frogs,
 // the assignment buffer, accounting — stays worker-local. c may be nil.
+//
+// Runners are drawn from a per-instance pool: a released runner (see
+// Release) is rebound to c and handed back instead of allocating, so an
+// instance's steady-state executions are allocation-free. A fresh
+// runner is built when the pool is empty.
 func NewRunnerCounters(inst *Instance, c *stats.Counters) *Runner {
+	if pooled := inst.pool.Get(); pooled != nil {
+		r := pooled.(*Runner)
+		r.cancel = nil
+		if r.c != c {
+			r.c = c
+			for _, it := range r.iters {
+				it.SetCounters(c)
+			}
+		}
+		// Restore the canonical leg order (frog searches permute the leg
+		// slices in place), so a pooled runner charges exactly the
+		// accounting a fresh one would.
+		for d, legIdxs := range inst.legsAt {
+			ls := r.legs[d]
+			for j, li := range legIdxs {
+				ls[j] = r.iters[li]
+			}
+		}
+		return r
+	}
 	r := &Runner{
 		inst:  inst,
 		iters: make([]*trie.Iterator, len(inst.atoms)),
 		frogs: make([]*Frog, inst.NumVars()),
 		legs:  make([][]*trie.Iterator, inst.NumVars()),
 		mu:    make([]int64, inst.NumVars()),
+		c:     c,
 	}
 	for i, leg := range inst.atoms {
 		r.iters[i] = leg.Trie.NewIteratorCounters(c)
@@ -52,6 +79,19 @@ func NewRunnerCounters(inst *Instance, c *stats.Counters) *Runner {
 		r.frogs[d] = NewFrog(ls)
 	}
 	return r
+}
+
+// Release flushes the runner's batched accounting and returns it to the
+// instance's pool for reuse by a later execution ("close" in the
+// iterator accounting contract). The runner must not be used after
+// Release; holding one across executions is fine — it simply never
+// rejoins the pool.
+func (r *Runner) Release() {
+	for _, it := range r.iters {
+		it.Flush()
+	}
+	r.cancel = nil
+	r.inst.pool.Put(r)
 }
 
 // Instance returns the instance the runner executes.
@@ -137,8 +177,15 @@ func (r *Runner) evalFrom(d int, emit func([]int64) bool) bool {
 	return cont
 }
 
-// Count runs vanilla LFTJ count over the instance.
-func Count(inst *Instance) int64 { return NewRunner(inst).Count() }
+// Count runs vanilla LFTJ count over the instance. Steady-state calls
+// are allocation-free: the runner is drawn from and returned to the
+// instance's pool.
+func Count(inst *Instance) int64 {
+	r := NewRunner(inst)
+	n := r.Count()
+	r.Release()
+	return n
+}
 
 // CountCtx is Count with cooperative cancellation: the scan polls ctx
 // once per CancelCheckEvery iterator advances and unwinds promptly when
@@ -152,7 +199,9 @@ func CountCtx(ctx context.Context, inst *Instance) (int64, error) {
 	r := NewRunner(inst)
 	r.SetCanceler(NewCanceler(ctx))
 	n := r.Count()
-	if err := r.cancel.Err(); err != nil {
+	err := r.cancel.Err()
+	r.Release()
+	if err != nil {
 		return 0, err
 	}
 	return n, nil
@@ -169,11 +218,17 @@ func EvalCtx(ctx context.Context, inst *Instance, emit func(mu []int64) bool) er
 	r := NewRunner(inst)
 	r.SetCanceler(NewCanceler(ctx))
 	r.Eval(emit)
-	return r.cancel.Err()
+	err := r.cancel.Err()
+	r.Release()
+	return err
 }
 
 // Eval runs vanilla LFTJ evaluation over the instance.
-func Eval(inst *Instance, emit func(mu []int64) bool) { NewRunner(inst).Eval(emit) }
+func Eval(inst *Instance, emit func(mu []int64) bool) {
+	r := NewRunner(inst)
+	r.Eval(emit)
+	r.Release()
+}
 
 // EvalTuples materializes the result in order-variable order; intended
 // for tests and small results.

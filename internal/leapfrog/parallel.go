@@ -34,6 +34,7 @@ func RootKeys(inst *Instance, c *stats.Counters) []int64 {
 		ok = frog.Next()
 	}
 	r.CloseDepth(0)
+	r.Release()
 	return keys
 }
 
@@ -138,6 +139,7 @@ func ParallelCountCtx(ctx context.Context, inst *Instance, workers int) (int64, 
 			total += r.countFrom(1)
 		}
 		r.CloseDepth(0)
+		r.Release()
 		totals[w] = total
 	})
 	if err := ctx.Err(); err != nil {

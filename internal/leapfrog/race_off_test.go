@@ -1,0 +1,8 @@
+//go:build !race
+
+package leapfrog
+
+// raceEnabled reports whether the race detector instruments this build;
+// the allocation assertions skip under it (instrumentation perturbs the
+// allocator).
+const raceEnabled = false

@@ -11,11 +11,21 @@ func (r *Relation) Permute(perm []int) (*Relation, error) {
 		return nil, fmt.Errorf("relation %s: permutation length %d, arity %d", r.name, len(perm), r.arity)
 	}
 	seen := make([]bool, r.arity)
-	for _, p := range perm {
+	identity := true
+	for j, p := range perm {
 		if p < 0 || p >= r.arity || seen[p] {
 			return nil, fmt.Errorf("relation %s: invalid permutation %v", r.name, perm)
 		}
 		seen[p] = true
+		if p != j {
+			identity = false
+		}
+	}
+	if identity {
+		// Relations are immutable, so the no-op permutation is the
+		// relation itself — the common case for atoms whose argument
+		// order already follows the global variable order.
+		return r, nil
 	}
 	b := NewBuilder(r.name, r.arity)
 	row := make([]int64, r.arity)

@@ -144,21 +144,22 @@ func NewEngine(db *relation.DB, cfg Config) *Engine {
 	}
 	if !cfg.DisableReuse {
 		e.reg = trie.NewRegistry(cfg.TrieBudget)
+		// Cold index builds use the same parallelism budget as the
+		// queries they unblock.
+		e.reg.SetBuildWorkers(e.buildWorkers())
 		// A plan embeds the registry tries it compiled against, so a
 		// byte-budget eviction must also drop the plans pinning that
 		// index — otherwise TrieBudget would stop bounding resident trie
 		// memory (evicted-but-pinned copies) and the next compile over
-		// the relation would build a duplicate. The drop is deliberately
-		// coarse — by relation name, so plans embedding a different
-		// still-resident order of the same relation recompile too: the
-		// memory bound wins over warm plans under pressure, and plans
-		// re-warm on the next request. (Precise per-entry tracking is a
-		// ROADMAP item. A compile racing the eviction may still cache
-		// one plan holding the evicted trie; it is a bounded,
-		// self-healing overshoot, like the stale re-insert race on
-		// updates.)
-		e.reg.SetEvictHook(func(rel *relation.Relation) {
-			e.plans.invalidateTouching(rel.Name())
+		// the relation would build a duplicate. The cache tracks the
+		// exact (relation, order) registry entries each plan embeds, so
+		// only plans pinning the evicted index recompile — plans over
+		// the relation's other, still-resident orders stay warm. (A
+		// compile racing the eviction may still cache one plan holding
+		// the evicted trie; it is a bounded, self-healing overshoot,
+		// like the stale re-insert race on updates.)
+		e.reg.SetEvictHook(func(rel *relation.Relation, perm string) {
+			e.plans.invalidateEmbedding(rel, perm)
 		})
 	}
 	for _, name := range db.Names() {
@@ -515,6 +516,16 @@ func (e *Engine) Stats() EngineStats {
 	return s
 }
 
+// buildWorkers resolves the trie-build parallelism from the engine
+// config: the configured per-query worker count, with the "one per
+// core" default rendered as the builders' per-core sentinel.
+func (e *Engine) buildWorkers() int {
+	if e.cfg.Workers == 0 {
+		return -1
+	}
+	return e.cfg.Workers
+}
+
 // policyOf resolves a request's cache/execution policy.
 func (e *Engine) policyOf(req Request) (core.Policy, error) {
 	pol := core.Policy{
@@ -613,11 +624,12 @@ func (e *Engine) planFor(q *cq.Query, text string, names []string, vec string, d
 		Counters:      c,
 		Tries:         e.tries(),
 		SkipOrderCost: req.NoOrderCost,
+		BuildWorkers:  e.buildWorkers(),
 	})
 	if err != nil {
 		return nil, false, err
 	}
-	e.plans.put(key, p.WithCounters(nil), names)
+	e.plans.put(key, p.WithCounters(nil), names, p.Embedded())
 	return p, false, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/leapfrog"
 	"repro/internal/relation"
 )
 
@@ -115,7 +116,12 @@ type planEntry struct {
 	plan *core.Plan
 	// names are the relations the plan touches (the sub-vector's
 	// components), so an update can drop exactly the entries it staled.
-	names      []string
+	names []string
+	// embedded are the shared-registry indices the plan pins (one per
+	// (relation, column order) drawn at compile time), so a registry
+	// byte-budget eviction can drop exactly the plans holding the
+	// evicted index and no others.
+	embedded   []leapfrog.SourceEntry
 	prev, next *planEntry
 }
 
@@ -153,8 +159,9 @@ func (pc *planCache) get(key planKey) (*core.Plan, bool) {
 // put stores a compiled plan, evicting the least recently used entry
 // past capacity. Re-storing an existing key (two requests raced on the
 // same miss) keeps the incumbent. names are the relations the plan
-// touches (retained for invalidateTouching).
-func (pc *planCache) put(key planKey, p *core.Plan, names []string) {
+// touches (retained for invalidateTouching); embedded the registry
+// entries it pins (retained for invalidateEmbedding).
+func (pc *planCache) put(key planKey, p *core.Plan, names []string, embedded []leapfrog.SourceEntry) {
 	if pc == nil {
 		return
 	}
@@ -163,7 +170,7 @@ func (pc *planCache) put(key planKey, p *core.Plan, names []string) {
 	if _, ok := pc.entries[key]; ok {
 		return
 	}
-	e := &planEntry{key: key, plan: p, names: names}
+	e := &planEntry{key: key, plan: p, names: names, embedded: embedded}
 	pc.entries[key] = e
 	pc.pushBack(e)
 	for len(pc.entries) > pc.cap {
@@ -192,6 +199,42 @@ func (pc *planCache) invalidateTouching(name string) {
 	for key, e := range pc.entries {
 		for _, n := range e.names {
 			if n == name {
+				pc.unlink(e)
+				delete(pc.entries, key)
+				pc.invalidated++
+				break
+			}
+		}
+	}
+}
+
+// invalidateEmbedding drops every cached plan that embeds the registry
+// entry (rel, perm) — the trie over rel whose levels follow the column
+// permutation perm (trie.PermSig). It is the registry's byte-budget
+// evict hook: only plans pinning the evicted index recompile, while
+// plans over the same relation's other, still-resident orders stay
+// warm (the precision the coarse by-name drop of earlier versions
+// lacked). Matching is by relation identity, not name, so a plan over
+// a newer version of the relation never matches an older version's
+// eviction.
+//
+// Plans over a *patched* version V2 record only {V2, perm}, so a
+// budget eviction of the base entry {V1, perm} — whose level arrays
+// V2's patched trie shares — leaves them warm. That is sound for the
+// byte bound: the registry deliberately charges a patched entry its
+// full MemoryBytes including the shared base arrays (see
+// Trie.MemoryBytes), so the pinned memory stays covered by the
+// resident {V2, perm} entry, and evicting *that* entry reaches these
+// plans through this hook as usual.
+func (pc *planCache) invalidateEmbedding(rel *relation.Relation, perm string) {
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	for key, e := range pc.entries {
+		for _, emb := range e.embedded {
+			if emb.Rel == rel && emb.Perm == perm {
 				pc.unlink(e)
 				delete(pc.entries, key)
 				pc.invalidated++

@@ -1,0 +1,92 @@
+package server
+
+import (
+	"testing"
+
+	"repro/internal/leapfrog"
+	"repro/internal/relation"
+)
+
+// TestPlanCachePerEntryInvalidation pins the precision contract of the
+// registry evict hook: dropping one (relation, column order) registry
+// entry invalidates exactly the plans embedding that entry — plans
+// over the same relation's other, still-resident orders stay warm, as
+// do plans embedding no shared index at all. (The coarse by-name drop
+// this replaced recompiled all of them; see ROADMAP's closed
+// "plan cache × trie-budget precision" item.)
+func TestPlanCachePerEntryInvalidation(t *testing.T) {
+	pc := newPlanCache(8)
+	relE := relation.MustNew("E", 2, [][]int64{{1, 2}})
+	relR := relation.MustNew("R", 2, [][]int64{{2, 3}})
+	permID, permSwap := "\x00\x01", "\x01\x00"
+
+	keyA := planKey{text: "a"}
+	keyB := planKey{text: "b"}
+	keyC := planKey{text: "c"}
+	keyD := planKey{text: "d"}
+	pc.put(keyA, nil, []string{"E"}, []leapfrog.SourceEntry{{Rel: relE, Perm: permID}})
+	pc.put(keyB, nil, []string{"E"}, []leapfrog.SourceEntry{{Rel: relE, Perm: permSwap}})
+	pc.put(keyC, nil, []string{"E"}, nil) // private (constant-specialized) tries only
+	pc.put(keyD, nil, []string{"R"}, []leapfrog.SourceEntry{{Rel: relR, Perm: permID}})
+
+	pc.invalidateEmbedding(relE, permID)
+
+	if _, ok := pc.get(keyA); ok {
+		t.Fatal("plan embedding the evicted (E, id) entry survived")
+	}
+	for _, tc := range []struct {
+		key  planKey
+		what string
+	}{
+		{keyB, "plan over E's other, still-resident order"},
+		{keyC, "plan with no shared index"},
+		{keyD, "plan over an unrelated relation"},
+	} {
+		if _, ok := pc.get(tc.key); !ok {
+			t.Fatalf("%s was invalidated by an unrelated eviction", tc.what)
+		}
+	}
+	if s := pc.stats(); s.Invalidations != 1 {
+		t.Fatalf("invalidations = %d, want exactly 1", s.Invalidations)
+	}
+
+	// Relation identity, not name, scopes the match: evicting a *newer*
+	// version's entry must not drop plans compiled against the old one.
+	relE2 := relation.MustNew("E", 2, [][]int64{{1, 2}, {3, 4}})
+	pc.invalidateEmbedding(relE2, permSwap)
+	if _, ok := pc.get(keyB); !ok {
+		t.Fatal("eviction of another version's entry dropped an unrelated plan")
+	}
+}
+
+// TestEngineEvictionKeepsOtherOrdersWarm drives the same contract
+// through a live engine: with a byte budget that forces the registry to
+// evict E's index when R's is built, the cached plan over R must stay
+// warm afterwards while only the plan pinning the evicted index
+// recompiles.
+func TestEngineEvictionKeepsOtherOrdersWarm(t *testing.T) {
+	db := relation.NewDB()
+	g := testDB()
+	e1, err := g.Get("E")
+	if err != nil {
+		t.Fatal(err)
+	}
+	db.Put(e1)
+	db.Put(e1.Rename("R"))
+	// Budget: one resident index at a time.
+	e := NewEngine(db, Config{Workers: 1, TrieBudget: 1})
+	if _, err := e.Do(Request{Query: "E(x,y), E(y,z), E(x,z)"}); err != nil {
+		t.Fatal(err)
+	}
+	// R's index build evicts E's; E's plan must drop, R's must stay.
+	if _, err := e.Do(Request{Query: "R(x,y), R(y,z), R(x,z)"}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := e.Do(Request{Query: "R(x,y), R(y,z), R(x,z)"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Stats.PlanCached {
+		t.Fatal("R's plan did not survive the eviction that only touched E")
+	}
+}

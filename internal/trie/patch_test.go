@@ -214,3 +214,49 @@ func TestPatchedTrieLockstepSeeks(t *testing.T) {
 		}
 	}
 }
+
+// TestPatchedLenTolerance pins the estimator contract Trie.Len
+// documents for patched tries: Len(d) is base + overlay − dead, which
+// never undercounts the live distinct node count and overcounts by at
+// most the overlay level size (a value present in both the base and
+// the overlay under the same prefix counts twice). The order-cost and
+// fanout consumers rely on exactly this tolerance — an estimator
+// change that undercounts (starving fanout) or overcounts past the
+// overlay (inflating order cost) must fail here.
+func TestPatchedLenTolerance(t *testing.T) {
+	base := relation.MustNew("R", 2, [][]int64{{1, 1}, {1, 2}, {2, 1}, {3, 5}})
+	// adds overlap the base at level 0 (values 1 and 2 exist in both);
+	// dels kill the base node 3 entirely.
+	adds := relation.MustNew("R", 2, [][]int64{{1, 3}, {2, 9}})
+	dels := relation.MustNew("R", 2, [][]int64{{3, 5}})
+	bt := Build(base, nil)
+	pt, err := BuildPatched(bt, adds, dels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// True distinct prefix counts of the live tuple set
+	// {1,1},{1,2},{1,3},{2,1},{2,9}: level 0 has {1,2}, level 1 has 5.
+	truth := []int{2, 5}
+	overlay := []int{2, 2} // overlay trie level sizes for adds
+	for d := 0; d < 2; d++ {
+		got := pt.Len(d)
+		if got < truth[d] {
+			t.Fatalf("Len(%d) = %d undercounts the %d live nodes", d, got, truth[d])
+		}
+		if got > truth[d]+overlay[d] {
+			t.Fatalf("Len(%d) = %d exceeds live %d + overlay %d", d, got, truth[d], overlay[d])
+		}
+	}
+	// Pin the exact estimate so accidental estimator changes surface:
+	// level 0: 3 base + 2 overlay − 1 dead; level 1: 4 base + 2 overlay
+	// − 1 dead (every node on a fully-deleted path is marked, including
+	// the leaf).
+	if pt.Len(0) != 4 || pt.Len(1) != 5 {
+		t.Fatalf("Len = %d,%d, want 4,5", pt.Len(0), pt.Len(1))
+	}
+	// The estimator must keep fanout well-defined for the cost model.
+	if f := pt.Fanout(0); f <= 0 {
+		t.Fatalf("Fanout(0) = %g, want > 0", f)
+	}
+}

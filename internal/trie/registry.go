@@ -35,14 +35,15 @@ import (
 type Registry struct {
 	budget int64 // max resident bytes; 0 = unbounded
 
-	mu        sync.Mutex
-	entries   map[regKey]*regEntry
-	lineage   map[*relation.Relation]relation.Version
-	bytes     int64
-	head      *regEntry // least recently used (next victim)
-	tail      *regEntry // most recently used
-	stats     RegistryStats
-	evictHook func(rel *relation.Relation)
+	mu           sync.Mutex
+	entries      map[regKey]*regEntry
+	lineage      map[*relation.Relation]relation.Version
+	bytes        int64
+	head         *regEntry // least recently used (next victim)
+	tail         *regEntry // most recently used
+	stats        RegistryStats
+	evictHook    func(rel *relation.Relation, perm string)
+	buildWorkers int // goroutines per index construction (<=1: sequential)
 }
 
 // regKey identifies one cached trie: the identity of the (immutable)
@@ -102,18 +103,30 @@ func NewRegistry(budgetBytes int64) *Registry {
 	}
 }
 
-// SetEvictHook registers f to be invoked with the relation of every
-// entry dropped by byte-budget eviction (not by Release — epoch
-// reclamation is already coordinated by the caller). A resident engine
-// uses it to drop cached plans that embed the evicted index: without
-// that, a plan cache would keep budget-evicted tries alive while the
-// registry reports their bytes reclaimed, and later compiles would
-// build duplicates. f runs with the registry lock held and must not
-// call back into the registry.
-func (r *Registry) SetEvictHook(f func(rel *relation.Relation)) {
+// SetEvictHook registers f to be invoked with the relation and
+// column-permutation signature (PermSig) of every entry dropped by
+// byte-budget eviction (not by Release — epoch reclamation is already
+// coordinated by the caller). A resident engine uses it to drop exactly
+// the cached plans that embed the evicted index: without that, a plan
+// cache would keep budget-evicted tries alive while the registry
+// reports their bytes reclaimed, and later compiles would build
+// duplicates. f runs with the registry lock held and must not call
+// back into the registry.
+func (r *Registry) SetEvictHook(f func(rel *relation.Relation, perm string)) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.evictHook = f
+}
+
+// SetBuildWorkers bounds the goroutines each index construction may use
+// (BuildParallel): <= 1 builds sequentially, < 0 uses one per core. A
+// resident engine typically passes its configured per-query worker
+// count, so cold index builds use the same parallelism budget as the
+// joins they unblock.
+func (r *Registry) SetBuildWorkers(workers int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buildWorkers = workers
 }
 
 // Observe records a relation version's lineage so later Trie requests
@@ -152,8 +165,10 @@ func (r *Registry) Release(rel *relation.Relation) {
 	}
 }
 
-// permSig encodes a column permutation as a comparable map key.
-func permSig(perm []int) string {
+// PermSig encodes a column permutation as a comparable signature — the
+// registry's entry key component, also used by plan caches to name the
+// registry entries a compiled plan embeds.
+func PermSig(perm []int) string {
 	b := make([]byte, len(perm))
 	for i, p := range perm {
 		if p > 0xff {
@@ -183,7 +198,7 @@ func permSig(perm []int) string {
 // updates. Deltas past the compaction crossover arrive with no lineage
 // and fall back to one full build.
 func (r *Registry) Trie(rel *relation.Relation, perm []int, c *stats.Counters) (*Trie, error) {
-	key := regKey{rel: rel, perm: permSig(perm)}
+	key := regKey{rel: rel, perm: PermSig(perm)}
 
 	r.mu.Lock()
 	if c != nil {
@@ -252,7 +267,13 @@ func (r *Registry) Trie(rel *relation.Relation, perm []int, c *stats.Counters) (
 		if err != nil {
 			return fail(err)
 		}
-		t = Build(permuted, nil) // nil sink: shared across goroutines
+		r.mu.Lock()
+		workers := r.buildWorkers
+		r.mu.Unlock()
+		if workers == 0 {
+			workers = 1 // unset: sequential (BuildParallel reads <= 0 as per-core)
+		}
+		t = BuildParallel(permuted, nil, workers) // nil sink: shared across goroutines
 		if c != nil {
 			c.TrieBuilds++
 		}
@@ -289,7 +310,7 @@ func (r *Registry) evictOver(keep *regEntry) {
 			r.bytes -= e.bytes
 			r.stats.Evictions++
 			if r.evictHook != nil {
-				r.evictHook(e.key.rel)
+				r.evictHook(e.key.rel, e.key.perm)
 			}
 		}
 		e = next
@@ -357,6 +378,9 @@ func (r *Registry) Shrink(maxBytes int64) int64 {
 			delete(r.entries, e.key)
 			r.bytes -= e.bytes
 			r.stats.Evictions++
+			if r.evictHook != nil {
+				r.evictHook(e.key.rel, e.key.perm)
+			}
 		}
 		e = next
 	}

@@ -3,20 +3,21 @@
 // siblings stored sorted. The representation is the flat "cascading
 // vectors" layout the paper uses for YTD and that also serves LFTJ here:
 // per level, a values array plus child-range offsets into the next level.
-// seekLowerBound is a binary search within the sibling range, meeting the
-// amortized-logarithmic requirement for worst-case optimality.
+// SeekGE is a galloping (exponential-then-binary) search within the
+// sibling range, meeting the amortized-logarithmic requirement for
+// worst-case optimality.
 //
-// Every cell read — including each binary-search probe — increments a
+// Every cell read — including each search probe — is charged to a
 // stats.Counters (the trie's shared sink by default, or a per-iterator
 // sink for parallel workers), which is how the repository reproduces the
-// paper's memory-traffic numbers (§1, §5).
+// paper's memory-traffic numbers (§1, §5). Charges are batched in the
+// iterator and flushed at Open/Up boundaries; the flushed totals are
+// exact (see Iterator).
 package trie
 
 import (
 	"fmt"
-	"sort"
 
-	"repro/internal/relation"
 	"repro/internal/stats"
 )
 
@@ -42,66 +43,14 @@ type Trie struct {
 	patch  *patchSet // nil for fully materialized tries
 }
 
-// Build constructs a trie over the relation. The relation must already be
-// in the column order the trie should index (use Relation.Permute first).
-// counters may be nil to disable accounting.
-func Build(r *relation.Relation, counters *stats.Counters) *Trie {
-	if counters != nil {
-		counters.TrieBuilds++
-	}
-	t := &Trie{arity: r.Arity(), c: counters}
-	n := r.Len()
-	k := r.Arity()
-	t.levels = make([]level, k)
-	if n == 0 || k == 0 {
-		for d := range t.levels {
-			t.levels[d] = level{start: []int32{0}}
-		}
-		return t
-	}
-	// The relation is sorted, so every trie node at depth d is a
-	// contiguous row range sharing a length-(d+1) prefix. prevRows holds
-	// the row boundaries of the depth-(d-1) nodes (virtual root: one node
-	// spanning all rows); scanning each span groups equal column-d values
-	// into the depth-d nodes and yields the parent child-offsets directly.
-	prevRows := []int32{0, int32(n)}
-	for d := 0; d < k; d++ {
-		var vals []int64
-		var rows []int32
-		parentStart := make([]int32, len(prevRows))
-		for p := 0; p+1 < len(prevRows); p++ {
-			parentStart[p] = int32(len(vals))
-			for i := prevRows[p]; i < prevRows[p+1]; {
-				v := r.Tuple(int(i))[d]
-				vals = append(vals, v)
-				rows = append(rows, i)
-				j := i + 1
-				for j < prevRows[p+1] && r.Tuple(int(j))[d] == v {
-					j++
-				}
-				i = j
-			}
-		}
-		parentStart[len(prevRows)-1] = int32(len(vals))
-		t.levels[d] = level{vals: vals}
-		if d > 0 {
-			t.levels[d-1].start = parentStart
-		}
-		rows = append(rows, int32(n))
-		prevRows = rows
-	}
-	last := &t.levels[k-1]
-	last.start = make([]int32, len(last.vals)+1) // leaves have no children
-	return t
-}
-
 // Arity returns the trie depth (number of levels).
 func (t *Trie) Arity() int { return t.arity }
 
 // Len returns the number of nodes at depth d. For patched tries it is
 // an estimate (base + overlay − dead): a value present in both the base
 // and the overlay under the same prefix counts twice. The estimator
-// consumers (order cost, fanout) tolerate this.
+// consumers (order cost, fanout) tolerate this; the exact tolerance
+// contract is pinned by TestPatchedLenTolerance.
 func (t *Trie) Len(d int) int {
 	n := len(t.levels[d].vals)
 	if t.patch != nil {
@@ -173,19 +122,40 @@ func (t *Trie) Fanout(d int) float64 {
 // The iterator starts at the virtual root (depth -1); Open must be called
 // before the level-0 operations.
 //
-// Over a patched trie (BuildPatched) the same interface is served by an
-// on-the-fly two-way merge: a base cursor that skips dead nodes and an
-// overlay cursor over the inserted tuples, with Key/Next/Seek taking
-// the minimum side. The base cursor position is kept dead-skipped as an
-// invariant after every positioning operation.
+// Two concrete cursor shapes live behind this one type, selected at
+// NewIterator time: over a fully materialized trie (mg == nil) every
+// operation runs a branch-free array walk — the hot path of every join
+// engine — while over a patched trie (BuildPatched) the same interface
+// is served by an on-the-fly two-way merge held in mg: a base cursor
+// that skips dead nodes and an overlay cursor over the inserted tuples,
+// with Key/Next/Seek taking the minimum side. The base cursor position
+// is kept dead-skipped as an invariant after every positioning
+// operation. The fast-path methods test mg once and tail-call the merge
+// twin, so materialized tries never pay for the patch machinery.
+//
+// Accounting is batched: operations accumulate access charges in the
+// iterator (one pending counter, no guarded sink write per probe) and
+// flush them at close boundaries — Flush, SetCounters, and the runners'
+// Release, which every engine entry point calls when its scan finishes.
+// The flushed totals are bit-identical to the historical per-probe-
+// accounted binary-search implementation — see seekLevel.
 type Iterator struct {
-	t     *Trie
-	c     *stats.Counters // accounting sink (defaults to the trie's)
-	depth int
-	hi    []int32 // base sibling range end per depth
-	pos   []int32 // base cursor per depth (positions never move backwards)
-	ahi   []int32 // overlay sibling range end per depth (patched tries only)
-	apos  []int32
+	t       *Trie
+	c       *stats.Counters // accounting sink (defaults to the trie's)
+	pending int64           // batched access charges, flushed at Open/Up
+	cur     int64           // current key at the current depth (valid when !end)
+	end     bool            // whether the current sibling range is exhausted
+	depth   int
+	hi      []int32      // base sibling range end per depth
+	pos     []int32      // base cursor per depth (positions never move backwards)
+	mg      *mergeCursor // overlay cursor state; nil for materialized tries
+}
+
+// mergeCursor carries the patched-trie overlay side of an Iterator, off
+// the materialized fast path.
+type mergeCursor struct {
+	ahi  []int32 // overlay sibling range end per depth
+	apos []int32 // overlay cursor per depth
 }
 
 // NewIterator returns an iterator at the virtual root, accounting into
@@ -206,14 +176,44 @@ func (t *Trie) NewIteratorCounters(c *stats.Counters) *Iterator {
 		pos:   make([]int32, t.arity),
 	}
 	if t.patch != nil {
-		it.ahi = make([]int32, t.arity)
-		it.apos = make([]int32, t.arity)
+		it.mg = &mergeCursor{
+			ahi:  make([]int32, t.arity),
+			apos: make([]int32, t.arity),
+		}
 	}
 	return it
 }
 
 // Depth returns the current depth (-1 at the virtual root).
 func (it *Iterator) Depth() int { return it.depth }
+
+// SetCounters rebinds the accounting sink, flushing any batched charges
+// into the previous sink first. Pooled runners use it to reuse one
+// iterator across executions that account into per-run counters.
+func (it *Iterator) SetCounters(c *stats.Counters) {
+	it.flush()
+	it.c = c
+}
+
+// Flush drains the batched access charges into the counters sink,
+// making it exact. The leapfrog runners flush every iterator on
+// Release; standalone iterator users call Flush before reading their
+// counters.
+func (it *Iterator) Flush() { it.flush() }
+
+func (it *Iterator) flush() {
+	// The pending == 0 guard is load-bearing for pooling: a released
+	// runner's iterators have nothing pending, so rebinding them to a
+	// new sink must not touch the previous owner's counters (a += 0
+	// store would race with the old owner reading its totals).
+	if it.pending == 0 {
+		return
+	}
+	if it.c != nil {
+		it.c.TrieAccesses += it.pending
+	}
+	it.pending = 0
+}
 
 // Open descends to the first child of the current node. At the virtual
 // root it opens the full first level. Opening an empty child range is
@@ -224,129 +224,297 @@ func (it *Iterator) Open() {
 	if d >= it.t.arity {
 		panic("trie: Open below the deepest level")
 	}
-	p := it.t.patch
-	if p == nil {
-		var lo, hi int32
-		if d == 0 {
-			lo, hi = 0, int32(len(it.t.levels[0].vals))
-		} else {
-			lvl := &it.t.levels[it.depth]
-			q := it.pos[it.depth]
-			lo, hi = lvl.start[q], lvl.start[q+1]
-			it.account(2)
-		}
-		it.depth = d
-		it.hi[d], it.pos[d] = hi, lo
-		it.account(1)
+	if it.mg != nil {
+		it.openMerge(d)
 		return
 	}
-	// Patched: descend each side that carries the current key. A side
-	// that does not gets an empty child range and sits AtEnd below.
+	var lo, hi int32
+	if d == 0 {
+		hi = int32(len(it.t.levels[0].vals))
+	} else {
+		lvl := &it.t.levels[it.depth]
+		q := it.pos[it.depth]
+		lo, hi = lvl.start[q], lvl.start[q+1]
+		it.pending += 2
+	}
+	it.depth = d
+	it.hi[d], it.pos[d] = hi, lo
+	if lo < hi {
+		it.cur = it.t.levels[d].vals[lo]
+		it.end = false
+	} else {
+		it.end = true
+	}
+	it.pending++
+}
+
+// openMerge is the patched-trie Open: descend each side that carries the
+// current key. A side that does not gets an empty child range and sits
+// AtEnd below.
+func (it *Iterator) openMerge(d int) {
+	p := it.t.patch
 	var blo, bhi, alo, ahi int32
 	if d == 0 {
 		bhi = int32(len(it.t.levels[0].vals))
 		ahi = int32(len(p.adds[0].vals))
 	} else {
-		cur := it.mergedKey()
+		cur := it.cur
 		if bv, ok := it.baseKey(); ok && bv == cur {
 			lvl := &it.t.levels[it.depth]
 			q := it.pos[it.depth]
 			blo, bhi = lvl.start[q], lvl.start[q+1]
-			it.account(2)
+			it.pending += 2
 		}
 		if av, ok := it.overlayKey(); ok && av == cur {
 			lvl := &p.adds[it.depth]
-			q := it.apos[it.depth]
+			q := it.mg.apos[it.depth]
 			alo, ahi = lvl.start[q], lvl.start[q+1]
-			it.account(2)
+			it.pending += 2
 		}
 	}
 	it.depth = d
 	it.hi[d], it.pos[d] = bhi, blo
-	it.ahi[d], it.apos[d] = ahi, alo
+	it.mg.ahi[d], it.mg.apos[d] = ahi, alo
 	it.skipDead(d)
-	it.account(1)
+	it.refreshMerge(d)
+	it.pending++
 }
 
-// Up ascends one level.
+// Up ascends one level, restoring the parent level's cached key and
+// end state (the parent cursor did not move while below it).
 func (it *Iterator) Up() {
-	if it.depth < 0 {
+	d := it.depth - 1
+	if d < -1 {
 		panic("trie: Up above the virtual root")
 	}
-	it.depth--
+	it.depth = d
+	if d < 0 {
+		return
+	}
+	if it.mg == nil {
+		if p := it.pos[d]; p < it.hi[d] {
+			it.cur = it.t.levels[d].vals[p]
+			it.end = false
+		} else {
+			it.end = true
+		}
+		return
+	}
+	it.refreshMerge(d)
 }
 
 // AtEnd reports whether the iterator moved past the last sibling.
-func (it *Iterator) AtEnd() bool {
-	d := it.depth
-	if it.t.patch == nil {
-		return it.pos[d] >= it.hi[d]
-	}
-	return it.pos[d] >= it.hi[d] && it.apos[d] >= it.ahi[d]
-}
+func (it *Iterator) AtEnd() bool { return it.end }
 
 // Key returns the value at the current position. It must not be called
 // when AtEnd.
 func (it *Iterator) Key() int64 {
-	it.account(1)
-	if it.t.patch == nil {
-		return it.t.levels[it.depth].vals[it.pos[it.depth]]
-	}
-	return it.mergedKey()
+	it.pending++
+	return it.cur
 }
 
 // Next advances to the next sibling.
 func (it *Iterator) Next() {
-	d := it.depth
-	if it.t.patch == nil {
-		it.pos[d]++
-		it.account(1)
+	it.pending++
+	if it.mg == nil {
+		d := it.depth
+		p := it.pos[d] + 1
+		it.pos[d] = p
+		if p < it.hi[d] {
+			it.cur = it.t.levels[d].vals[p]
+		} else {
+			it.end = true
+		}
 		return
 	}
-	// Advance every side positioned on the current key.
-	cur := it.mergedKey()
+	it.nextMerge()
+}
+
+// nextMerge advances every merge side positioned on the current key.
+func (it *Iterator) nextMerge() {
+	d := it.depth
+	cur := it.cur
 	if bv, ok := it.baseKey(); ok && bv == cur {
 		it.pos[d]++
 		it.skipDead(d)
 	}
 	if av, ok := it.overlayKey(); ok && av == cur {
-		it.apos[d]++
+		it.mg.apos[d]++
 	}
-	it.account(1)
+	it.refreshMerge(d)
 }
 
-// Seek positions the iterator at the least sibling with value >= v,
-// or AtEnd if none, without moving backwards. It uses a binary search
-// over the remaining sibling range; each probe counts as one access.
-func (it *Iterator) SeekGE(v int64) {
-	d := it.depth
-	it.pos[d] = it.seekLevel(&it.t.levels[d], it.pos[d], it.hi[d], v)
-	if it.t.patch == nil {
+// refreshMerge recomputes the cached key/end state of the merge shape
+// from the two cursors at depth d.
+func (it *Iterator) refreshMerge(d int) {
+	if it.pos[d] >= it.hi[d] && it.mg.apos[d] >= it.mg.ahi[d] {
+		it.end = true
 		return
 	}
+	it.end = false
+	it.cur = it.mergedKey()
+}
+
+// SeekGE positions the iterator at the least sibling with value >= v,
+// or AtEnd if none, without moving backwards. The scan is galloping;
+// see seekLevel for the cost and accounting contract. The materialized
+// fast path is flattened in place: the current-position check reads the
+// cached key (no memory probe), and only real searches descend into
+// gallop.
+func (it *Iterator) SeekGE(v int64) {
+	if it.mg != nil {
+		it.seekMerge(v)
+		return
+	}
+	if it.end {
+		return
+	}
+	it.pending++
+	if it.cur >= v {
+		return
+	}
+	d := it.depth
+	pos := it.pos[d] + 1
+	hi := it.hi[d]
+	vals := it.t.levels[d].vals
+	n := hi - pos
+	if n <= 1 {
+		// 0 or 1 candidates left: the model cost is n probes either way.
+		it.pending += int64(n)
+		if n == 1 {
+			if w := vals[pos]; w >= v {
+				it.pos[d] = pos
+				it.cur = w
+				return
+			}
+			pos++
+		}
+		it.pos[d] = pos
+		it.end = true
+		return
+	}
+	lo, _ := gallop(vals[pos:hi], v)
+	if it.c != nil {
+		it.pending += binProbes(n, lo)
+	}
+	p := pos + lo
+	it.pos[d] = p
+	if p < hi {
+		it.cur = vals[p]
+	} else {
+		it.end = true
+	}
+}
+
+// seekMerge is the patched-trie SeekGE: both sides advance through the
+// shared seekLevel, then the merged key refreshes.
+func (it *Iterator) seekMerge(v int64) {
+	d := it.depth
+	it.pos[d] = it.seekLevel(&it.t.levels[d], it.pos[d], it.hi[d], v)
 	it.skipDead(d)
-	it.apos[d] = it.seekLevel(&it.t.patch.adds[d], it.apos[d], it.ahi[d], v)
+	it.mg.apos[d] = it.seekLevel(&it.t.patch.adds[d], it.mg.apos[d], it.mg.ahi[d], v)
+	it.refreshMerge(d)
 }
 
 // seekLevel advances a cursor within one level's sibling range [pos,hi)
-// to the least entry >= v, charging one access per probe.
+// to the least entry >= v using a galloping search: after checking the
+// current position (LFTJ seeks are frequently short), probe offsets
+// double until one lands at or past the target, then a binary search
+// resolves the last window — O(log m) physical probes for a seek of
+// distance m, preserving the amortized-log bound with no per-probe
+// function call.
+//
+// The accounting charge is the model cost, not the physical probe
+// count: one access for the current-position check plus the exact probe
+// count a binary search over the remaining range performs to land on
+// the same position. That count is a pure function of the range size
+// and the landing offset (every probe compares against the final
+// position), so binProbes replays the index arithmetic without touching
+// memory. This keeps stats totals bit-identical across the historical
+// binary-search implementation and this one, so the paper's
+// memory-traffic numbers stay comparable; the accounting-equivalence
+// tests pin the contract.
 func (it *Iterator) seekLevel(lvl *level, pos, hi int32, v int64) int32 {
-	// Galloping start: check the current position first — LFTJ seeks are
-	// frequently short.
-	if pos < hi {
-		it.account(1)
-		if lvl.vals[pos] >= v {
-			return pos
-		}
-		pos++
+	if pos >= hi {
+		return pos
 	}
-	probes := 0
-	i := int32(sort.Search(int(hi-pos), func(i int) bool {
+	vals := lvl.vals
+	it.pending++
+	if vals[pos] >= v {
+		return pos
+	}
+	pos++
+	n := hi - pos
+	if n <= 1 {
+		// 0 or 1 candidates left: the model cost is n probes either way.
+		it.pending += int64(n)
+		if n == 1 && vals[pos] < v {
+			pos++
+		}
+		return pos
+	}
+	lo, _ := gallop(vals[pos:hi], v)
+	if it.c != nil {
+		it.pending += binProbes(n, lo)
+	}
+	return pos + lo
+}
+
+// gallop returns the least offset i in [0, len(vals)) with
+// vals[i] >= v (or len(vals) if none), plus the number of cells it
+// physically probed. Probe offsets double from the front until one
+// lands at or past the target, then a binary search resolves the last
+// window, so a landing offset of m costs O(log m) probes regardless of
+// the level size — the short seeks LFTJ's inner loop is made of stay
+// cheap while the amortized-log worst case is preserved.
+func gallop(vals []int64, v int64) (int32, int32) {
+	n := int32(len(vals))
+	probes := int32(0)
+	// After the loop, every index < lo holds a value < v and either
+	// hi == n or vals[hi] >= v, so the least entry >= v lies in
+	// [lo, hi].
+	lo, hi := int32(0), n
+	// step > 0 guards the doubling against int32 wraparound on levels
+	// past 2^30 entries: the loop then stops with lo at the last
+	// power-of-two probe and the binary phase covers the tail.
+	for step := int32(1); step > 0 && step < n; step <<= 1 {
 		probes++
-		return lvl.vals[pos+int32(i)] >= v
-	}))
-	it.account(int64(probes))
-	return pos + i
+		if vals[step-1] >= v {
+			hi = step - 1
+			break
+		}
+		lo = step
+	}
+	for lo < hi {
+		m := int32(uint32(lo+hi) >> 1)
+		probes++
+		if vals[m] < v {
+			lo = m + 1
+		} else {
+			hi = m
+		}
+	}
+	return lo, probes
+}
+
+// binProbes returns the number of probes sort.Search performs on n
+// elements when the predicate flips at offset r — the charged model
+// cost of one seek. Each probe of the lower-bound search compares its
+// midpoint against r, so the probe path (and count) is fully determined
+// by (n, r) and replaying it costs O(log n) integer ops, no loads.
+func binProbes(n, r int32) int64 {
+	i, j := int32(0), n
+	var p int64
+	for i < j {
+		h := int32(uint32(i+j) >> 1)
+		p++
+		if h < r {
+			i = h + 1
+		} else {
+			j = h
+		}
+	}
+	return p
 }
 
 // baseKey returns the base cursor's key at the current depth, if the
@@ -364,10 +532,10 @@ func (it *Iterator) baseKey() (int64, bool) {
 // the overlay side is not exhausted.
 func (it *Iterator) overlayKey() (int64, bool) {
 	d := it.depth
-	if it.apos[d] >= it.ahi[d] {
+	if it.mg.apos[d] >= it.mg.ahi[d] {
 		return 0, false
 	}
-	return it.t.patch.adds[d].vals[it.apos[d]], true
+	return it.t.patch.adds[d].vals[it.mg.apos[d]], true
 }
 
 // mergedKey is the patched-trie current key: the minimum of the live
@@ -401,14 +569,7 @@ func (it *Iterator) skipDead(d int) {
 			return
 		}
 		it.pos[d]++
-		it.account(1)
-	}
-}
-
-// account adds n trie accesses to the iterator's counters, if any.
-func (it *Iterator) account(n int64) {
-	if it.c != nil {
-		it.c.TrieAccesses += n
+		it.pending++
 	}
 }
 

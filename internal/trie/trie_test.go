@@ -37,6 +37,7 @@ func walk(tr *Trie) [][]int64 {
 	if tr.Arity() > 0 {
 		rec(0)
 	}
+	it.Flush()
 	return out
 }
 
