@@ -45,6 +45,7 @@ func BenchmarkE12Service(b *testing.B)       { benchExperiment(b, bench.ServiceT
 func BenchmarkE13Updates(b *testing.B)       { benchExperiment(b, bench.IncrementalUpdates) }
 func BenchmarkE14Prepared(b *testing.B)      { benchExperiment(b, bench.PreparedStatements) }
 func BenchmarkE15Micro(b *testing.B)         { benchExperiment(b, bench.HotPath) }
+func BenchmarkE18Stream(b *testing.B)        { benchExperiment(b, bench.StreamThroughput) }
 
 // Per-engine micro-benchmarks: a fixed skewed graph and query so the
 // three algorithms' costs are directly comparable in one `-bench` run.

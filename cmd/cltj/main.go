@@ -91,6 +91,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheFlag := fs.Int("cache", 0, "CLFTJ cache capacity (0 = unbounded)")
 	supportFlag := fs.Int("support", 0, "CLFTJ support threshold")
 	workersFlag := fs.Int("workers", 1, "worker goroutines for clftj and for lftj counting (0 = one per core, 1 = sequential); other algorithms ignore it; -eval with workers > 1 materializes the full result before printing")
+	batchFlag := fs.Int("batch-size", 0, "block size for batched clftj execution: advance the deepest trie level in blocks of up to this many keys (0 = scalar loops); results, order and completed-run statistics are identical to scalar")
 	timeoutFlag := fs.Duration("timeout", 0, "wall-clock budget covering planning, index build and the join (clftj and lftj; 0 = unlimited): past it the run unwinds cooperatively and cltj exits nonzero")
 	symFlag := fs.Bool("symmetric", false, "treat edges as undirected (add both directions)")
 	showTD := fs.Bool("show-td", false, "print the selected tree decomposition")
@@ -160,7 +161,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("-timeout applies to single-query runs; in -serve/-queries modes set timeout_ms per request"))
 	}
 	if *serveFlag != "" {
-		engine := server.NewEngine(db, server.Config{Workers: engineWorkers, TrieBudget: *budgetFlag})
+		engine := server.NewEngine(db, server.Config{Workers: engineWorkers, TrieBudget: *budgetFlag, BatchSize: *batchFlag})
 		fmt.Fprintf(stdout, "cltj service listening on %s (POST /query, POST /update, GET /stats, GET /healthz)\n", *serveFlag)
 		if err := http.ListenAndServe(*serveFlag, server.NewHandler(engine)); err != nil {
 			return fail(err)
@@ -168,7 +169,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 	if *queriesFlag != "" {
-		return runBatch(db, *queriesFlag, engineWorkers, *budgetFlag, stdout, stderr)
+		return runBatch(db, *queriesFlag, engineWorkers, *budgetFlag, *batchFlag, stdout, stderr)
 	}
 
 	var q *cq.Query
@@ -198,7 +199,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	var c stats.Counters
-	policy := core.Policy{Capacity: *cacheFlag, SupportThreshold: *supportFlag, Workers: *workersFlag}
+	policy := core.Policy{Capacity: *cacheFlag, SupportThreshold: *supportFlag, Workers: *workersFlag, BatchSize: *batchFlag}
 	start := time.Now()
 	var count int64
 	switch *algoFlag {
@@ -397,7 +398,7 @@ func replayUpdates(db *relation.DB, path string, stdout io.Writer) (*relation.DB
 // runBatch executes a workload file against one resident engine: the
 // trie registry warms on the first queries and later ones reuse it, the
 // amortization a per-invocation CLI can never get.
-func runBatch(db *relation.DB, path string, workers int, budget int64, stdout, stderr io.Writer) int {
+func runBatch(db *relation.DB, path string, workers int, budget int64, batchSize int, stdout, stderr io.Writer) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(stderr, "cltj:", err)
@@ -405,7 +406,7 @@ func runBatch(db *relation.DB, path string, workers int, budget int64, stdout, s
 	}
 	defer f.Close()
 
-	engine := server.NewEngine(db, server.Config{Workers: workers, TrieBudget: budget})
+	engine := server.NewEngine(db, server.Config{Workers: workers, TrieBudget: budget, BatchSize: batchSize})
 	sc := bufio.NewScanner(f)
 	n, failed := 0, 0
 	start := time.Now()

@@ -13,7 +13,8 @@
 // Usage:
 //
 //	cltjd [-addr :8372] [-data graph.txt | -rel R=path ...] [-symmetric]
-//	      [-workers K] [-trie-budget BYTES] [-max-tuples N]
+//	      [-workers K] [-stream-workers K] [-batch-size N]
+//	      [-trie-budget BYTES] [-max-tuples N]
 //	      [-compact-fraction F] [-plan-cache N] [-max-prepared N] [-drain DUR]
 //
 // Endpoints (see internal/server for the wire format):
@@ -72,6 +73,8 @@ func main() {
 	dataFlag := flag.String("data", "", "edge-list file for relation E (default: built-in skewed sample graph)")
 	symFlag := flag.Bool("symmetric", false, "treat edges as undirected (add both directions)")
 	workersFlag := flag.Int("workers", 0, "default per-query worker goroutines (0 = one per core)")
+	streamWorkersFlag := flag.Int("stream-workers", 0, "default producers for streaming executions (\"mode\": \"stream\"): 0 or 1 = sequential, K = sharded producers with byte-identical output for every K")
+	batchFlag := flag.Int("batch-size", 0, "default block size for batched execution (0 = scalar loops)")
 	budgetFlag := flag.Int64("trie-budget", 0, "resident trie byte budget shared across queries (0 = unbounded)")
 	maxTuples := flag.Int("max-tuples", server.DefaultMaxTuples, "default cap on tuples returned by eval responses")
 	compactFlag := flag.Float64("compact-fraction", 0, "patch-vs-rebuild crossover as a fraction of the base relation size (0 = default)")
@@ -87,6 +90,8 @@ func main() {
 
 	engine := server.NewEngine(db, server.Config{
 		Workers:         *workersFlag,
+		StreamWorkers:   *streamWorkersFlag,
+		BatchSize:       *batchFlag,
 		TrieBudget:      *budgetFlag,
 		MaxTuples:       *maxTuples,
 		CompactFraction: *compactFlag,

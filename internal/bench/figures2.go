@@ -223,6 +223,7 @@ func Experiments() []Experiment {
 		{"E13 (updates)", IncrementalUpdates},
 		{"E14 (prepared)", PreparedStatements},
 		{"E15 (hot path)", HotPath},
+		{"E18 (streaming)", StreamThroughput},
 	}
 }
 

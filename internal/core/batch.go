@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/factorized"
+	"repro/internal/leapfrog"
+)
+
+// DefaultBatchSize is the block size batched executions use when the
+// policy asks for batching without naming a size (Policy.BatchSize <= 0
+// at a batch-only entry point, or the streaming engine's row blocks).
+const DefaultBatchSize = 256
+
+// maxBatchSize caps a request-supplied block size so a hostile or
+// mistyped BatchSize cannot allocate an absurd scratch block.
+const maxBatchSize = 1 << 16
+
+// leafBlock allocates the deepest-level key block a batched execution
+// scans through, or nil when the policy keeps the scalar loops.
+func (p Policy) leafBlock() []int64 {
+	n := p.BatchSize
+	if n <= 0 {
+		return nil
+	}
+	if n > maxBatchSize {
+		n = maxBatchSize
+	}
+	return make([]int64, n)
+}
+
+// batchCap resolves the output block size for batch-producing entry
+// points: the policy's BatchSize, defaulted and capped.
+func (p Policy) batchCap() int {
+	n := p.BatchSize
+	if n <= 0 {
+		n = DefaultBatchSize
+	}
+	if n > maxBatchSize {
+		n = maxBatchSize
+	}
+	return n
+}
+
+// Batch is a columnar block of result tuples: Cols[d][i] is row i's
+// value for the d-th variable of the plan's order, and every column has
+// Len() entries. The batched evaluation fills the deepest column with
+// one bulk copy per frog block and the prefix columns with run-length
+// repeats, instead of appending tuples one at a time.
+type Batch struct {
+	Cols [][]int64
+	n    int
+}
+
+// Len returns the number of rows in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// Row copies row i into dst (which must have len(Cols) room) and
+// returns it — a convenience for consumers that want tuple views.
+func (b *Batch) Row(i int, dst []int64) []int64 {
+	for d := range b.Cols {
+		dst[d] = b.Cols[d][i]
+	}
+	return dst
+}
+
+// reset empties the batch, retaining column capacity.
+func (b *Batch) reset() {
+	for d := range b.Cols {
+		b.Cols[d] = b.Cols[d][:0]
+	}
+	b.n = 0
+}
+
+// EvalBatches is EvalBatchesCtx under context.Background().
+func (p *Plan) EvalBatches(policy Policy, yield func(b *Batch) bool) EvalResult {
+	res, _ := p.EvalBatchesCtx(context.Background(), policy, yield)
+	return res
+}
+
+// EvalBatchesCtx runs the evaluation with columnar output: result
+// construction fills a Batch of up to the policy's block size
+// (BatchSize; DefaultBatchSize when unset) and yields it whenever it
+// fills, plus once for the tail. The concatenated batches carry exactly
+// the tuple sequence EvalCtx emits — same rows, same order — and the
+// accounting is bit-identical to the scalar path for completed scans.
+// The Batch is reused between yields; the consumer must copy what it
+// retains. Returning false stops the enumeration. The deepest level's
+// scan is always batched here (block-at-a-time is the point of the
+// entry point), at the policy's block size.
+func (p *Plan) EvalBatchesCtx(ctx context.Context, policy Policy, yield func(b *Batch) bool) (EvalResult, error) {
+	if err := ctx.Err(); err != nil {
+		return EvalResult{}, err
+	}
+	if p.inst.Empty() {
+		return EvalResult{}, nil
+	}
+	if policy.BatchSize <= 0 {
+		policy.BatchSize = DefaultBatchSize
+	}
+	e := &evalExec{
+		plan:    p,
+		run:     leapfrog.NewRunnerCounters(p.inst, p.counters),
+		ctrs:    p.counters,
+		sets:    make([]factorized.Set, p.numNodes),
+		collect: make([]bool, p.numNodes),
+		intent:  make([]bool, p.numNodes),
+		cancel:  leapfrog.NewCanceler(ctx),
+		cm: newManager[factorized.Set](policy, p.numNodes, p.cacheable, p.counters,
+			func(s factorized.Set) int { return len(s) }),
+		block:    policy.leafBlock(),
+		batchCap: policy.batchCap(),
+		yieldB:   yield,
+	}
+	e.batch = &Batch{Cols: make([][]int64, p.numVars)}
+	for d := range e.batch.Cols {
+		e.batch.Cols[d] = make([]int64, 0, e.batchCap)
+	}
+	e.emit = e.appendRow
+	e.mu = e.run.Assignment()
+	cont := e.rjoin(0)
+	e.run.Release()
+	if err := e.cancel.Err(); err != nil {
+		return EvalResult{Emitted: e.emitted}, err
+	}
+	if cont && e.batch.n > 0 {
+		e.yieldB(e.batch) // the tail block
+	}
+	return EvalResult{Emitted: e.emitted, CachedEntries: e.cm.Entries()}, nil
+}
+
+// appendRow adds one assignment as a row of the columnar batch,
+// yielding the batch when it fills. It is the emit callback of
+// batch-producing executions; the expansion paths (cache-hit frames,
+// collected bags) funnel through it row by row, while the bulk leaf
+// fill below bypasses it with whole-block copies.
+func (e *evalExec) appendRow(mu []int64) bool {
+	b := e.batch
+	for d, v := range mu {
+		b.Cols[d] = append(b.Cols[d], v)
+	}
+	b.n++
+	if b.n >= e.batchCap {
+		return e.flushBatch()
+	}
+	return true
+}
+
+// appendRows bulk-fills rows sharing the scan prefix mu[:d]: the
+// prefix columns get run-length repeats and column d a single copy of
+// the leaf keys — the columnar counterpart of emitting each key
+// through emitPending, charge-free on both paths.
+func (e *evalExec) appendRows(d int, keys []int64) bool {
+	b := e.batch
+	for len(keys) > 0 {
+		take := e.batchCap - b.n
+		if take > len(keys) {
+			take = len(keys)
+		}
+		for j := 0; j < d; j++ {
+			v := e.mu[j]
+			for i := 0; i < take; i++ {
+				b.Cols[j] = append(b.Cols[j], v)
+			}
+		}
+		b.Cols[d] = append(b.Cols[d], keys[:take]...)
+		b.n += take
+		e.emitted += int64(take)
+		keys = keys[take:]
+		if b.n >= e.batchCap && !e.flushBatch() {
+			return false
+		}
+	}
+	return true
+}
+
+// flushBatch yields the full batch and resets it for the next block.
+func (e *evalExec) flushBatch() bool {
+	if e.batch.n == 0 {
+		return true
+	}
+	ok := e.yieldB(e.batch)
+	e.batch.reset()
+	return ok
+}

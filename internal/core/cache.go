@@ -48,6 +48,18 @@ type Policy struct {
 	// Count/Eval/Aggregate entry points ignore the field and always run
 	// sequentially.
 	Workers int
+	// BatchSize selects block-at-a-time execution for Count and Eval
+	// (sequential, parallel and streaming): the deepest level's scan
+	// advances in blocks of up to BatchSize keys through the trie/frog
+	// batch primitives instead of one key per recursive step. 0 (the
+	// default) keeps the scalar loops. Results, tuple order and — for
+	// scans that run to completion — stats.Counters are bit-identical to
+	// the scalar path (the batch primitives replay the scalar charge
+	// sequence; the differential harness enforces it); an early-stopped
+	// or cancelled batched scan may have read ahead up to one block.
+	// Aggregate ignores the field (its leaf folds per-value weights, so
+	// there is nothing to fuse).
+	BatchSize int
 }
 
 // cache is one adhesion cache (one per cacheable bag), generic over the

@@ -42,6 +42,7 @@ func (p *Plan) CountCtx(ctx context.Context, policy Policy) (CountResult, error)
 		intrmd: make([]int64, p.numNodes),
 		cm:     newManager[int64](policy, p.numNodes, p.cacheable, p.counters, nil),
 		cancel: leapfrog.NewCanceler(ctx),
+		block:  policy.leafBlock(),
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0, 1)
@@ -60,6 +61,7 @@ type countExec struct {
 	cm     *manager[int64]
 	cancel *leapfrog.Canceler // nil never cancels
 	total  int64
+	block  []int64 // deepest-level key block; nil = scalar advances
 }
 
 // rjoin is RCachedJoin(d, f) of Fig. 2 (0-based depths). f aggregates the
@@ -100,21 +102,37 @@ func (e *countExec) rjoin(d int, f int64) {
 
 	// Lines 13-19: the ordinary trie-join scan of x_d.
 	frog, ok := e.run.OpenDepth(d)
-	for ok && !e.cancel.Poll() {
-		e.mu[d] = frog.Key()
-		e.rjoin(d+1, f)
-		if p.bagLast[d] {
-			// Line 16-18: fold the children's intermediate counts.
-			prod := int64(1)
-			for _, c := range p.children[v] {
-				prod *= e.intrmd[c]
-				if prod == 0 {
-					break
-				}
-			}
-			e.intrmd[v] += prod
+	if e.block != nil && d == p.numVars-1 {
+		// Batched leaf: the deepest depth is always its bag's last (the
+		// subtree intervals compile() builds are contiguous and end at
+		// numVars-1) and the bag has no effective children, so every
+		// block match contributes f to the total and 1 to intrmd[v] —
+		// no per-key mu write or child fold is needed. Frog.NextBatch
+		// replays the scalar Key/Next charges, so completed scans
+		// account bit-identically to the loop below.
+		for ok && !e.cancel.Poll() {
+			n := int64(frog.NextBatch(e.block))
+			e.total += f * n
+			e.intrmd[v] += n
+			ok = !frog.AtEnd()
 		}
-		ok = frog.Next()
+	} else {
+		for ok && !e.cancel.Poll() {
+			e.mu[d] = frog.Key()
+			e.rjoin(d+1, f)
+			if p.bagLast[d] {
+				// Line 16-18: fold the children's intermediate counts.
+				prod := int64(1)
+				for _, c := range p.children[v] {
+					prod *= e.intrmd[c]
+					if prod == 0 {
+						break
+					}
+				}
+				e.intrmd[v] += prod
+			}
+			ok = frog.Next()
+		}
 	}
 	e.run.CloseDepth(d)
 

@@ -52,6 +52,7 @@ func (p *Plan) EvalCtx(ctx context.Context, policy Policy, emit func(mu []int64)
 		cancel:  leapfrog.NewCanceler(ctx),
 		cm: newManager[factorized.Set](policy, p.numNodes, p.cacheable, p.counters,
 			func(s factorized.Set) int { return len(s) }),
+		block: policy.leafBlock(),
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0)
@@ -128,6 +129,14 @@ type evalExec struct {
 	pending     []skipFrame
 	emit        func([]int64) bool
 	emitted     int64
+
+	// Batched execution state (see batch.go; all nil/zero on the scalar
+	// path). block is the deepest level's key block; batch, batchCap and
+	// yieldB carry the columnar output of EvalBatchesCtx.
+	block    []int64
+	batch    *Batch
+	batchCap int
+	yieldB   func(*Batch) bool
 }
 
 // rjoin mirrors countExec.rjoin with factorized intermediates. It returns
@@ -170,14 +179,44 @@ func (e *evalExec) rjoin(d int) bool {
 
 	frog, ok := e.run.OpenDepth(d)
 	cont := true
-	for ok && cont && !e.cancel.Poll() {
-		e.mu[d] = frog.Key()
-		cont = e.rjoin(d + 1)
-		if p.bagLast[d] && e.collect[v] && cont {
-			e.appendEntry(v)
+	switch {
+	case e.block != nil && d == p.numVars-1 && e.batch != nil && !e.collect[v] && len(e.pending) == 0:
+		// Bulk columnar leaf: every block key completes a plain tuple
+		// (no pending cache-hit frames to expand, no factorized set to
+		// build), so the whole block lands in the output batch with one
+		// copy per column instead of per-tuple appends. Frog.NextBatch
+		// replays the scalar Key/Next charges, and plain tuple emission
+		// charges nothing on either path, so completed scans account
+		// bit-identically to the scalar loop.
+		for ok && cont && !e.cancel.Poll() {
+			n := frog.NextBatch(e.block)
+			ok = !frog.AtEnd()
+			cont = e.appendRows(d, e.block[:n])
 		}
-		if cont {
-			ok = frog.Next()
+	case e.block != nil && d == p.numVars-1:
+		// Batched leaf advances feeding the scalar per-tuple epilogue
+		// (pending expansions, factorized collection).
+		for ok && cont && !e.cancel.Poll() {
+			n := frog.NextBatch(e.block)
+			ok = !frog.AtEnd()
+			for j := 0; j < n && cont; j++ {
+				e.mu[d] = e.block[j]
+				cont = e.rjoin(d + 1)
+				if p.bagLast[d] && e.collect[v] && cont {
+					e.appendEntry(v)
+				}
+			}
+		}
+	default:
+		for ok && cont && !e.cancel.Poll() {
+			e.mu[d] = frog.Key()
+			cont = e.rjoin(d + 1)
+			if p.bagLast[d] && e.collect[v] && cont {
+				e.appendEntry(v)
+			}
+			if cont {
+				ok = frog.Next()
+			}
 		}
 	}
 	e.run.CloseDepth(d)

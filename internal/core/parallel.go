@@ -77,6 +77,7 @@ func (p *Plan) CountParallelCtx(ctx context.Context, policy Policy) (CountResult
 			intrmd: make([]int64, p.numNodes),
 			cm:     newManager[int64](policy, p.numNodes, p.cacheable, wc, nil),
 			cancel: leapfrog.NewCanceler(ctx),
+			block:  policy.leafBlock(),
 		}
 		e.mu = e.run.Assignment()
 		e.shardScan(keys, w, workers)
@@ -262,6 +263,7 @@ func (p *Plan) EvalParallelCtx(ctx context.Context, policy Policy, emit func(mu 
 			cancel:  leapfrog.NewCanceler(ctx),
 			cm: newManager[factorized.Set](policy, p.numNodes, p.cacheable, wc,
 				func(s factorized.Set) int { return len(s) }),
+			block: policy.leafBlock(),
 		}
 		cur := -1
 		e.emit = func(mu []int64) bool {

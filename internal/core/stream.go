@@ -1,0 +1,185 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/factorized"
+	"repro/internal/leapfrog"
+	"repro/internal/stats"
+)
+
+// This file implements parallel streaming: the sharded producer behind
+// Stmt.Rows and the HTTP "stream" mode. Workers run EvalParallel-style
+// root-domain shards, but instead of materializing the whole result
+// before the first emit (EvalParallel's tradeoff), each worker feeds a
+// bounded channel of row blocks and a merger forwards them to the
+// consumer in deterministic shard order: root key i's rows always come
+// from channel i%K, and a worker produces its groups in exactly the
+// index order the merger consumes them, so the stream is the same
+// root-value blocks in the same order regardless of K. Workers run with
+// caching disabled — a cache hit expands the memoized subtree at emit
+// time rather than during the scan, so a cached stream's intra-block
+// order depends on per-worker cache state; disabling makes every
+// worker's order the plain scan order and the merged stream
+// byte-deterministic across worker counts. The first rows flow as soon
+// as worker 0 finds them, and an emit returning false cancels the
+// producers instead of finishing the join.
+
+// streamItem is one block of rows from a worker. last marks the end of
+// one root value's group; a group may span several items when it
+// overflows the block size.
+type streamItem struct {
+	rows [][]int64
+	last bool
+}
+
+// streamChanDepth bounds each worker's channel: enough to keep a
+// producer ahead of the merger without buffering unbounded results.
+const streamChanDepth = 4
+
+// EvalStream is EvalStreamCtx under context.Background().
+func (p *Plan) EvalStream(policy Policy, workers int, emit func(mu []int64) bool) EvalResult {
+	res, _ := p.EvalStreamCtx(context.Background(), policy, workers, emit)
+	return res
+}
+
+// EvalStreamCtx evaluates the plan and streams result tuples to emit in
+// the canonical (no-cache sequential scan) order, sharding the root
+// domain over the given worker count (<= 1, or a root domain too small
+// to shard, falls back to the sequential EvalCtx under the unmodified
+// policy — including its caches). For workers > 1 the emitted stream is
+// tuple-for-tuple identical for every worker count; relative to a
+// *cached* sequential run it may reorder tuples within a root-value
+// block exactly where cache hits would (the tuple set is always
+// identical). Emitted slices are freshly allocated and may be retained.
+// Returning false from emit stops the stream and cancels the workers.
+// Policy.BatchSize batches the workers' leaf scans and sizes the row
+// blocks handed between producer and merger (DefaultBatchSize when
+// unset). CachedEntries is 0 on the sharded path: workers trade their
+// caches for the deterministic order. When ctx trips, delivery stops
+// and ctx's error is returned; tuples already emitted stand.
+func (p *Plan) EvalStreamCtx(ctx context.Context, policy Policy, workers int, emit func(mu []int64) bool) (EvalResult, error) {
+	if err := ctx.Err(); err != nil {
+		return EvalResult{}, err
+	}
+	if p.inst.Empty() {
+		return EvalResult{}, nil
+	}
+	keys, workers := leapfrog.ShardDomain(p.inst, workers, p.counters)
+	if workers <= 1 {
+		return p.EvalCtx(ctx, policy, emit)
+	}
+
+	wpol := policy
+	wpol.Disabled = true
+	bs := wpol.batchCap()
+	sctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	chans := make([]chan streamItem, workers)
+	for w := range chans {
+		chans[w] = make(chan streamItem, streamChanDepth)
+	}
+
+	var wg sync.WaitGroup
+	ctrs := make([]*stats.Counters, workers)
+	for w := 0; w < workers; w++ {
+		if p.counters != nil {
+			ctrs[w] = &stats.Counters{}
+		}
+		wg.Add(1)
+		go func(w int, wc *stats.Counters) {
+			defer wg.Done()
+			defer close(chans[w])
+			e := &evalExec{
+				plan:    p,
+				run:     leapfrog.NewRunnerCounters(p.inst, wc),
+				ctrs:    wc,
+				sets:    make([]factorized.Set, p.numNodes),
+				collect: make([]bool, p.numNodes),
+				intent:  make([]bool, p.numNodes),
+				cancel:  leapfrog.NewCanceler(sctx),
+				cm: newManager[factorized.Set](wpol, p.numNodes, p.cacheable, wc,
+					func(s factorized.Set) int { return len(s) }),
+				block: wpol.leafBlock(),
+			}
+			// dead flips when the merger has gone away (sctx cancelled
+			// mid-send); emit then returns false so the scan unwinds.
+			dead := false
+			var buf [][]int64
+			send := func(it streamItem) bool {
+				select {
+				case chans[w] <- it:
+					return true
+				case <-sctx.Done():
+					dead = true
+					return false
+				}
+			}
+			e.emit = func(mu []int64) bool {
+				if dead {
+					return false
+				}
+				buf = append(buf, append([]int64(nil), mu...))
+				if len(buf) >= bs {
+					if !send(streamItem{rows: buf}) {
+						return false
+					}
+					buf = nil
+				}
+				return true
+			}
+			open := false
+			e.mu = e.run.Assignment()
+			e.shardScan(keys, w, workers, func(int) {
+				// Group boundary: seal the previous root value's rows.
+				if open && !dead {
+					if send(streamItem{rows: buf, last: true}) {
+						buf = nil
+					}
+				}
+				open = true
+			})
+			if open && !dead {
+				send(streamItem{rows: buf, last: true})
+			}
+			e.run.Release()
+		}(w, ctrs[w])
+	}
+
+	var res EvalResult
+	stopped := false
+	for i := 0; i < len(keys) && !stopped; i++ {
+		ch := chans[i%workers]
+		for {
+			item, ok := <-ch
+			if !ok {
+				// The worker ended without sealing this group — it was
+				// cancelled (workers otherwise produce one sealed group
+				// per owned index, in index order).
+				stopped = true
+				break
+			}
+			for _, row := range item.rows {
+				res.Emitted++
+				if !emit(row) {
+					stopped = true
+					cancel()
+					break
+				}
+			}
+			if stopped || item.last {
+				break
+			}
+		}
+	}
+	cancel()
+	wg.Wait()
+	if p.counters != nil {
+		p.counters.Merge(ctrs...)
+	}
+	if err := ctx.Err(); err != nil {
+		return res, err
+	}
+	return res, nil
+}

@@ -1,0 +1,168 @@
+package leapfrog
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cq"
+	"repro/internal/naive"
+	"repro/internal/queries"
+	"repro/internal/relation"
+	"repro/internal/stats"
+	"repro/internal/trie"
+)
+
+// unaryTrie builds an arity-1 trie over the given keys (duplicates
+// collapse via set semantics).
+func unaryTrie(t *testing.T, keys []int64) *trie.Trie {
+	t.Helper()
+	tuples := make([][]int64, len(keys))
+	for i, k := range keys {
+		tuples[i] = []int64{k}
+	}
+	return trie.Build(relation.MustNew("A", 1, tuples), nil)
+}
+
+// frogOver opens fresh iterators over the tries at level 0 and wraps
+// them in a frog, accounting into c.
+func frogOver(tries []*trie.Trie, c *stats.Counters) (*Frog, []*trie.Iterator, bool) {
+	legs := make([]*trie.Iterator, len(tries))
+	for i, tr := range tries {
+		legs[i] = tr.NewIteratorCounters(c)
+		legs[i].Open()
+	}
+	f := NewFrog(legs)
+	return f, legs, f.Init()
+}
+
+func flushAll(legs []*trie.Iterator) {
+	for _, l := range legs {
+		l.Flush()
+	}
+}
+
+// drainScalar enumerates the frog's matches with Key/Next.
+func drainScalar(f *Frog, ok bool) []int64 {
+	var out []int64
+	for ok {
+		out = append(out, f.Key())
+		ok = f.Next()
+	}
+	return out
+}
+
+// drainBatch enumerates the frog's matches with NextBatch blocks.
+func drainBatch(f *Frog, ok bool, block []int64) []int64 {
+	var out []int64
+	if !ok {
+		return nil
+	}
+	for {
+		n := f.NextBatch(block)
+		if n == 0 {
+			break
+		}
+		out = append(out, block[:n]...)
+	}
+	return out
+}
+
+// TestFrogNextBatchEquivalence pins the block-intersection contract on
+// hand-picked leg shapes: identical matches and bit-identical counters
+// vs the scalar frog, across block sizes, including the
+// single-materialized-leg fast path and the patched-leg fallback.
+func TestFrogNextBatchEquivalence(t *testing.T) {
+	single := unaryTrie(t, []int64{1, 3, 4, 8, 9, 12})
+	a := unaryTrie(t, []int64{1, 2, 3, 5, 8, 13, 21})
+	b := unaryTrie(t, []int64{2, 3, 5, 7, 11, 13})
+	c3 := unaryTrie(t, []int64{3, 5, 13, 99})
+	baseRel := relation.MustNew("A", 1, [][]int64{{1}, {3}, {4}, {8}})
+	patched, err := trie.BuildPatched(trie.Build(baseRel, nil),
+		relation.MustNew("A", 1, [][]int64{{2}, {9}}),
+		relation.MustNew("A", 1, [][]int64{{3}}), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := map[string][]*trie.Trie{
+		"single-materialized": {single},
+		"single-patched":      {patched},
+		"two-legs":            {a, b},
+		"three-legs":          {a, b, c3},
+		"empty-intersection":  {a, unaryTrie(t, []int64{100, 200})},
+		"empty-leg":           {a, unaryTrie(t, nil)},
+	}
+	for name, tries := range cases {
+		var cs stats.Counters
+		f, legs, ok := frogOver(tries, &cs)
+		want := drainScalar(f, ok)
+		flushAll(legs)
+
+		for _, bs := range []int{1, 2, 3, 64} {
+			var cb stats.Counters
+			f, legs, ok := frogOver(tries, &cb)
+			got := drainBatch(f, ok, make([]int64, bs))
+			flushAll(legs)
+			if len(got) != len(want) {
+				t.Fatalf("%s bs=%d: %d matches, want %d (%v vs %v)", name, bs, len(got), len(want), got, want)
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s bs=%d: match %d = %d, want %d", name, bs, i, got[i], want[i])
+				}
+			}
+			if cb != cs {
+				t.Errorf("%s bs=%d: batch counters %+v, scalar %+v", name, bs, cb, cs)
+			}
+		}
+	}
+}
+
+// TestCountBatchEquivalence runs whole joins: CountBatch must agree
+// with Count (and naive) on count and flushed accounting for every
+// block size.
+func TestCountBatchEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	qs := []*cq.Query{queries.Path(3), queries.Cycle(3), queries.Cycle(4), queries.Clique(3)}
+	for trial := 0; trial < 8; trial++ {
+		n := 6 + rng.Intn(10)
+		var edges [][]int64
+		for i := 0; i < 4*n; i++ {
+			edges = append(edges, []int64{int64(rng.Intn(n)), int64(rng.Intn(n))})
+		}
+		db := relation.NewDB(relation.MustNew("E", 2, edges))
+		q := qs[trial%len(qs)]
+		inst, err := Build(q, db, q.Vars(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, _ := naive.Count(q, db)
+
+		var cs stats.Counters
+		r := NewRunnerCounters(inst, &cs)
+		scalar := r.Count()
+		r.Release()
+		if scalar != want {
+			t.Fatalf("trial %d: scalar count %d, want %d", trial, scalar, want)
+		}
+
+		for _, bs := range []int{1, 2, 3, 7, 64} {
+			var cb stats.Counters
+			r := NewRunnerCounters(inst, &cb)
+			got := r.CountBatch(make([]int64, bs))
+			r.Release()
+			if got != want {
+				t.Fatalf("trial %d bs=%d: CountBatch %d, want %d", trial, bs, got, want)
+			}
+			if cb != cs {
+				t.Errorf("trial %d bs=%d: batch counters %+v, scalar %+v", trial, bs, cb, cs)
+			}
+		}
+		if got := CountBatch(inst, 16); got != want {
+			t.Fatalf("trial %d: package CountBatch %d, want %d", trial, got, want)
+		}
+		if got := CountBatch(inst, 0); got != want {
+			t.Fatalf("trial %d: CountBatch(0) %d, want %d", trial, got, want)
+		}
+	}
+}

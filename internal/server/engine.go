@@ -31,6 +31,19 @@ type Config struct {
 	// Workers is the default per-query parallelism when a request does
 	// not set its own: 0 uses one worker per core, 1 forces sequential.
 	Workers int
+	// StreamWorkers is the default parallelism of streaming executions
+	// ("mode": "stream", Stmt.Rows) when a request does not set its own:
+	// 0 or 1 keeps the sequential stream, K > 1 shards the root domain
+	// over K producers merged in deterministic order (the byte output is
+	// identical for every K; see core.EvalStreamCtx). Streaming
+	// deliberately does not inherit Workers — the parallel stream trades
+	// the per-query caches for its deterministic order, so it is opt-in.
+	StreamWorkers int
+	// BatchSize is the default block size of batched execution when a
+	// request does not set its own: 0 keeps the scalar loops (the
+	// default), K > 0 advances the deepest trie level in blocks of up to
+	// K keys (core.Policy.BatchSize).
+	BatchSize int
 	// TrieBudget bounds the registry's resident trie bytes, shared
 	// across all queries (0 = unbounded). Under pressure the least
 	// recently used index orders are evicted first.
@@ -236,6 +249,17 @@ type Request struct {
 	// Workers overrides the engine's default parallelism for this query
 	// (0: engine default; 1: sequential; K: K goroutines).
 	Workers int `json:"workers,omitempty"`
+	// StreamWorkers overrides the engine's default streaming parallelism
+	// for this execution (0: engine default; 1: sequential; K: K
+	// producers merged deterministically). Only streaming executions
+	// ("mode": "stream", Stmt.Rows) consult it. Execution-only: never
+	// part of the plan-cache key.
+	StreamWorkers int `json:"stream_workers,omitempty"`
+	// BatchSize overrides the engine's default execution block size
+	// (0: engine default; negative: force the scalar loops; K > 0:
+	// blocks of up to K keys). Execution-only: never part of the
+	// plan-cache key.
+	BatchSize int `json:"batch_size,omitempty"`
 	// CacheCapacity bounds this query's CLFTJ caches (entries per
 	// worker; 0 = unbounded), CacheSupport is the support threshold and
 	// CacheEviction one of "fifo" (default), "none", "lru". NoCache
@@ -533,9 +557,18 @@ func (e *Engine) policyOf(req Request) (core.Policy, error) {
 		SupportThreshold: req.CacheSupport,
 		Disabled:         req.NoCache,
 		Workers:          req.Workers,
+		BatchSize:        req.BatchSize,
 	}
 	if pol.Workers == 0 {
 		pol.Workers = e.cfg.Workers
+	}
+	switch {
+	case pol.BatchSize == 0:
+		pol.BatchSize = e.cfg.BatchSize
+	case pol.BatchSize < 0:
+		// An explicit negative forces the scalar loops even when the
+		// engine defaults to batching (0 means "unset" in the merge).
+		pol.BatchSize = 0
 	}
 	switch req.CacheEviction {
 	case "", "fifo":

@@ -147,6 +147,12 @@ func (s *Stmt) merge(over Request) Request {
 	if over.Workers != 0 {
 		req.Workers = over.Workers
 	}
+	if over.StreamWorkers != 0 {
+		req.StreamWorkers = over.StreamWorkers
+	}
+	if over.BatchSize != 0 {
+		req.BatchSize = over.BatchSize
+	}
 	if over.CacheCapacity != 0 {
 		req.CacheCapacity = over.CacheCapacity
 	}
@@ -195,14 +201,26 @@ func (s *Stmt) CountCtx(ctx context.Context) (int64, error) {
 // Rows streams the result set one assignment at a time, aligned with
 // the plan's variable order (each yielded slice is a fresh copy the
 // consumer may retain). Unlike eval-mode Do, nothing is buffered and no
-// limit applies: rows are produced by the sequential engine as the scan
-// finds them, so the first row arrives before the join finishes and an
-// abandoned iteration (break) stops the scan immediately. When ctx is
-// cancelled — or the statement's default timeout passes — the stream
-// ends with a final (nil, ctx.Err()) pair after the rows already
-// yielded; iterate with `for row, err := range stmt.Rows(ctx)` and
-// check err before using row. The snapshot is pinned for the lifetime
-// of the iteration: break or return from the loop promptly.
+// limit applies: rows are produced as the scan finds them (by the
+// sequential engine, or by the sharded streaming producer when the
+// statement's StreamWorkers default asks for parallelism — the row
+// sequence is identical either way), so the first row arrives before
+// the join finishes and an abandoned iteration (break) stops the scan
+// immediately. When ctx is cancelled — or the statement's default
+// timeout passes — the stream ends with a final (nil, ctx.Err()) pair
+// after the rows already yielded; iterate with
+// `for row, err := range stmt.Rows(ctx)` and check err before using
+// row.
+//
+// Snapshot contract: the iteration pins one epoch for its whole
+// lifetime. The stream enters the epoch tracker before the first row
+// and answers from that single consistent snapshot — a concurrent
+// Update installs new versions for later queries but never mutates the
+// live stream's view, and the versions the stream reads stay resident
+// (pinned against registry reclamation) until the iteration ends. The
+// epoch is released exactly once, whether the stream drains, errors, or
+// is abandoned by break/return — but until then it holds superseded
+// versions alive, so break or return from the loop promptly.
 func (s *Stmt) Rows(ctx context.Context) iter.Seq2[[]int64, error] {
 	return func(yield func([]int64, error) bool) {
 		stopped := false
@@ -231,10 +249,16 @@ func (s *Stmt) stream(ctx context.Context, req Request, header func(order []stri
 	if err != nil {
 		return err
 	}
-	// Streaming always runs the sequential engine (the parallel path
-	// would buffer the whole result); the Workers default applies to Do
-	// executions only.
+	// Streaming never uses the buffering EvalParallel path: the Workers
+	// default applies to Do executions only. Parallelism here comes from
+	// the dedicated StreamWorkers knob and runs the sharded streaming
+	// producer, whose merged output is byte-identical for every worker
+	// count (core.EvalStreamCtx).
 	pol.Workers = 1
+	streamWorkers := req.StreamWorkers
+	if streamWorkers == 0 {
+		streamWorkers = s.e.cfg.StreamWorkers
+	}
 	if req.TimeoutMS > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(req.TimeoutMS)*time.Millisecond)
@@ -255,7 +279,7 @@ func (s *Stmt) stream(ctx context.Context, req Request, header func(order []stri
 	if header != nil {
 		header(plan.Order())
 	}
-	if _, err := plan.EvalCtx(ctx, pol, row); err != nil {
+	if _, err := plan.EvalStreamCtx(ctx, pol, streamWorkers, row); err != nil {
 		return err
 	}
 	s.e.queries.Add(1)
