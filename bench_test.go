@@ -46,6 +46,7 @@ func BenchmarkE13Updates(b *testing.B)       { benchExperiment(b, bench.Incremen
 func BenchmarkE14Prepared(b *testing.B)      { benchExperiment(b, bench.PreparedStatements) }
 func BenchmarkE15Micro(b *testing.B)         { benchExperiment(b, bench.HotPath) }
 func BenchmarkE18Stream(b *testing.B)        { benchExperiment(b, bench.StreamThroughput) }
+func BenchmarkE19Persist(b *testing.B)       { benchExperiment(b, bench.PersistentRestart) }
 
 // Per-engine micro-benchmarks: a fixed skewed graph and query so the
 // three algorithms' costs are directly comparable in one `-bench` run.

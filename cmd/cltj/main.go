@@ -10,6 +10,7 @@
 //	cltj -updates deltas.txt ...                      # replay deltas first
 //	cltj -queries workload.txt [-trie-budget BYTES]   # batch over one engine
 //	cltj -serve :8372 [-trie-budget BYTES]            # HTTP/JSON service
+//	cltj ... [-data-dir DIR]                          # persistent engine modes
 //
 // The query flag accepts k-path, k-cycle, k-clique, {c,t}-lollipop (as
 // "lollipop-c-t") and "rand-N-P-SEED". Without -data, a built-in skewed
@@ -35,6 +36,13 @@
 // Blank lines and #-comments are skipped; a final implicit "apply"
 // flushes the tail. Each flushed delta advances the relation's version
 // exactly like a live update would.
+//
+// The resident-engine modes accept -data-dir DIR to run persistently
+// (format: docs/FORMAT.md), exactly like cltjd: a cold start snapshots
+// the loaded dataset into the directory, updates become durable, and
+// the next start with the same directory boots warm — snapshots
+// verified and mmap'd, write-ahead logs replayed, dataset flags
+// ignored — with trie indices opened from disk instead of rebuilt.
 package main
 
 import (
@@ -99,6 +107,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	updatesFlag := fs.String("updates", "", "replay a delta file ('+ R v...' / '- R v...' / 'apply' lines) against the dataset before running")
 	serveFlag := fs.String("serve", "", "serve mode: listen on this address (e.g. :8372) and answer HTTP/JSON queries over the loaded dataset")
 	budgetFlag := fs.Int64("trie-budget", 0, "resident trie byte budget for -queries/-serve (0 = unbounded)")
+	dataDirFlag := fs.String("data-dir", "", "persistent data directory for -queries/-serve: snapshots + write-ahead logs + trie index files; a populated directory boots warm (dataset flags are ignored) and updates become durable")
 	cpuProfileFlag := fs.String("cpuprofile", "", "write a pprof CPU profile of the run to this file (analyze with `go tool pprof`)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -122,26 +131,46 @@ func run(args []string, stdout, stderr io.Writer) int {
 		}()
 	}
 
-	db, g, err := dataset.LoadDB(rels, *dataFlag, *symFlag)
-	if err != nil {
-		return fail(err)
-	}
-	if g != nil {
-		fmt.Fprintf(stdout, "graph %s: %d nodes, %d edges\n", g.Name, g.N, g.NumEdges())
-	} else {
-		for _, name := range db.Names() {
-			r, err := db.Get(name)
-			if err != nil {
-				return fail(err)
-			}
-			fmt.Fprintf(stdout, "relation %s: %d tuples (arity %d)\n", name, r.Len(), r.Arity())
+	// -data-dir only makes sense where an engine owns the data: the
+	// resident modes. -updates replays offline through bare stores,
+	// bypassing the WAL, so combining them would silently drop
+	// durability — reject it.
+	if *dataDirFlag != "" {
+		if *serveFlag == "" && *queriesFlag == "" {
+			return fail(fmt.Errorf("-data-dir requires a resident engine mode (-serve or -queries)"))
+		}
+		if *updatesFlag != "" {
+			return fail(fmt.Errorf("-data-dir persists updates through the engine; apply them live (POST /update) instead of -updates"))
 		}
 	}
 
-	if *updatesFlag != "" {
-		db, err = replayUpdates(db, *updatesFlag, stdout)
+	// The persistent modes defer loading to server.OpenEngine, which
+	// skips it entirely on a warm boot; everything else loads up front.
+	var db *relation.DB
+	var err error
+	if *dataDirFlag == "" {
+		var g *dataset.Graph
+		db, g, err = dataset.LoadDB(rels, *dataFlag, *symFlag)
 		if err != nil {
 			return fail(err)
+		}
+		if g != nil {
+			fmt.Fprintf(stdout, "graph %s: %d nodes, %d edges\n", g.Name, g.N, g.NumEdges())
+		} else {
+			for _, name := range db.Names() {
+				r, err := db.Get(name)
+				if err != nil {
+					return fail(err)
+				}
+				fmt.Fprintf(stdout, "relation %s: %d tuples (arity %d)\n", name, r.Len(), r.Arity())
+			}
+		}
+
+		if *updatesFlag != "" {
+			db, err = replayUpdates(db, *updatesFlag, stdout)
+			if err != nil {
+				return fail(err)
+			}
 		}
 	}
 
@@ -160,16 +189,21 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if *timeoutFlag > 0 && (*serveFlag != "" || *queriesFlag != "") {
 		return fail(fmt.Errorf("-timeout applies to single-query runs; in -serve/-queries modes set timeout_ms per request"))
 	}
-	if *serveFlag != "" {
-		engine := server.NewEngine(db, server.Config{Workers: engineWorkers, TrieBudget: *budgetFlag, BatchSize: *batchFlag})
-		fmt.Fprintf(stdout, "cltj service listening on %s (POST /query, POST /update, GET /stats, GET /healthz)\n", *serveFlag)
-		if err := http.ListenAndServe(*serveFlag, server.NewHandler(engine)); err != nil {
+	if *serveFlag != "" || *queriesFlag != "" {
+		cfg := server.Config{Workers: engineWorkers, TrieBudget: *budgetFlag, BatchSize: *batchFlag, DataDir: *dataDirFlag}
+		engine, err := openEngine(db, cfg, rels, *dataFlag, *symFlag, stdout)
+		if err != nil {
 			return fail(err)
 		}
-		return 0
-	}
-	if *queriesFlag != "" {
-		return runBatch(db, *queriesFlag, engineWorkers, *budgetFlag, *batchFlag, stdout, stderr)
+		defer engine.Close()
+		if *serveFlag != "" {
+			fmt.Fprintf(stdout, "cltj service listening on %s (POST /query, POST /update, GET /stats, GET /healthz)\n", *serveFlag)
+			if err := http.ListenAndServe(*serveFlag, server.NewHandler(engine)); err != nil {
+				return fail(err)
+			}
+			return 0
+		}
+		return runBatch(engine, *queriesFlag, stdout, stderr)
 	}
 
 	var q *cq.Query
@@ -395,10 +429,37 @@ func replayUpdates(db *relation.DB, path string, stdout io.Writer) (*relation.DB
 	return out, nil
 }
 
+// openEngine builds the resident engine for the -serve and -queries
+// modes. With an empty Config.DataDir it wraps the already-loaded db
+// in a memory-only engine; with a data directory it routes through
+// server.OpenEngine, loading the dataset only on a cold start and
+// echoing the warm/cold outcome plus the served relation inventory.
+func openEngine(db *relation.DB, cfg server.Config, rels relFlags, dataPath string, symmetric bool, stdout io.Writer) (*server.Engine, error) {
+	if cfg.DataDir == "" {
+		return server.NewEngine(db, cfg), nil
+	}
+	engine, warm, err := server.OpenEngine(cfg, func() (*relation.DB, error) {
+		db, _, err := dataset.LoadDB(rels, dataPath, symmetric)
+		return db, err
+	})
+	if err != nil {
+		return nil, err
+	}
+	if warm {
+		fmt.Fprintf(stdout, "warm start: %s snapshots mmap'd, wal replayed, dataset flags skipped\n", cfg.DataDir)
+	} else {
+		fmt.Fprintf(stdout, "cold start: dataset persisted to %s (next start will be warm)\n", cfg.DataDir)
+	}
+	for _, info := range engine.Stats().Relations {
+		fmt.Fprintf(stdout, "relation %s: %d tuples (arity %d, version %d)\n", info.Name, info.Tuples, info.Arity, info.Version)
+	}
+	return engine, nil
+}
+
 // runBatch executes a workload file against one resident engine: the
 // trie registry warms on the first queries and later ones reuse it, the
 // amortization a per-invocation CLI can never get.
-func runBatch(db *relation.DB, path string, workers int, budget int64, batchSize int, stdout, stderr io.Writer) int {
+func runBatch(engine *server.Engine, path string, stdout, stderr io.Writer) int {
 	f, err := os.Open(path)
 	if err != nil {
 		fmt.Fprintln(stderr, "cltj:", err)
@@ -406,7 +467,6 @@ func runBatch(db *relation.DB, path string, workers int, budget int64, batchSize
 	}
 	defer f.Close()
 
-	engine := server.NewEngine(db, server.Config{Workers: workers, TrieBudget: budget, BatchSize: batchSize})
 	sc := bufio.NewScanner(f)
 	n, failed := 0, 0
 	start := time.Now()

@@ -235,3 +235,56 @@ func TestCLIUpdatesErrors(t *testing.T) {
 		}
 	}
 }
+
+// TestCLIPersistentBatch runs the same workload twice over one
+// -data-dir: the first run boots cold and persists, the second boots
+// warm and must answer its first query from mmap'd indices (builds=0).
+func TestCLIPersistentBatch(t *testing.T) {
+	dir := t.TempDir()
+	dataDir := filepath.Join(dir, "data")
+	workload := filepath.Join(dir, "workload.txt")
+	if err := os.WriteFile(workload, []byte("3-clique\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	args := []string{"-queries", workload, "-workers", "1", "-data-dir", dataDir}
+
+	var cold, warm bytes.Buffer
+	if got := run(args, &cold, &cold); got != 0 {
+		t.Fatalf("cold run exit = %d\n%s", got, &cold)
+	}
+	if !bytes.Contains(cold.Bytes(), []byte("cold start")) {
+		t.Fatalf("first run did not report a cold start:\n%s", &cold)
+	}
+	if got := run(args, &warm, &warm); got != 0 {
+		t.Fatalf("warm run exit = %d\n%s", got, &warm)
+	}
+	if !bytes.Contains(warm.Bytes(), []byte("warm start")) {
+		t.Fatalf("second run did not report a warm start:\n%s", &warm)
+	}
+	if !bytes.Contains(warm.Bytes(), []byte("builds=0")) {
+		t.Fatalf("warm first query rebuilt its tries:\n%s", &warm)
+	}
+	// Both runs must agree on the count line.
+	countLine := regexp.MustCompile(`count=\d+`)
+	cc, wc := countLine.Find(cold.Bytes()), countLine.Find(warm.Bytes())
+	if cc == nil || !bytes.Equal(cc, wc) {
+		t.Fatalf("count drifted across restart: cold %q, warm %q", cc, wc)
+	}
+}
+
+// TestCLIDataDirValidation: -data-dir outside the resident modes, or
+// combined with offline -updates replay, is rejected up front.
+func TestCLIDataDirValidation(t *testing.T) {
+	for name, args := range map[string][]string{
+		"single-query": {"-data-dir", t.TempDir(), "-query", "3-clique"},
+		"with-updates": {"-data-dir", t.TempDir(), "-updates", "x.txt", "-queries", "w.txt"},
+	} {
+		var stdout, stderr bytes.Buffer
+		if got := run(args, &stdout, &stderr); got != 1 {
+			t.Errorf("%s: exit = %d, want 1 (stderr %q)", name, got, stderr.String())
+		}
+		if !bytes.Contains(stderr.Bytes(), []byte("-data-dir")) {
+			t.Errorf("%s: stderr %q does not explain the -data-dir conflict", name, stderr.String())
+		}
+	}
+}

@@ -224,6 +224,7 @@ func Experiments() []Experiment {
 		{"E14 (prepared)", PreparedStatements},
 		{"E15 (hot path)", HotPath},
 		{"E18 (streaming)", StreamThroughput},
+		{"E19 (persistence)", PersistentRestart},
 	}
 }
 

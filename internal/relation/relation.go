@@ -40,6 +40,23 @@ func New(name string, arity int, tuples [][]int64) (*Relation, error) {
 	return b.Build(), nil
 }
 
+// FromSorted wraps an already lexicographically sorted, duplicate-free
+// flat tuple array as a relation without copying — the open-from-disk
+// twin of New, used to alias a verified on-disk snapshot (possibly an
+// mmap'd file) as a live relation. len(data) must be a multiple of
+// arity; ordering and uniqueness are the caller's contract (the storage
+// layer validates them before trusting a file). The caller must not
+// mutate data afterwards: relations are immutable.
+func FromSorted(name string, arity int, data []int64) (*Relation, error) {
+	if arity <= 0 {
+		return nil, fmt.Errorf("relation %s: non-positive arity %d", name, arity)
+	}
+	if len(data)%arity != 0 {
+		return nil, fmt.Errorf("relation %s: %d values is not a whole number of arity-%d tuples", name, len(data), arity)
+	}
+	return &Relation{name: name, arity: arity, data: data}, nil
+}
+
 // MustNew is New but panics on error; intended for tests and examples.
 func MustNew(name string, arity int, tuples [][]int64) *Relation {
 	r, err := New(name, arity, tuples)

@@ -66,6 +66,17 @@ func NewStore(base *Relation) *Store {
 	}
 }
 
+// NewStoreAt wraps base as version num of a mutable relation — the
+// restart path: a persistent engine that reloads a relation snapshot
+// stamped with its version number resumes the version chain where the
+// previous process left it, so clients (and plan caches keyed by version
+// vectors) never see version numbers regress across a restart.
+func NewStoreAt(base *Relation, num uint64) *Store {
+	s := NewStore(base)
+	s.cur.Num = num
+	return s
+}
+
 // SetCompactFraction overrides the patch-vs-rebuild crossover (see
 // DefaultCompactFraction). f <= 0 compacts on every delta (every
 // version is its own base); f >= 1 tolerates overlays as large as the

@@ -23,6 +23,7 @@ import (
 	"repro/internal/leapfrog"
 	"repro/internal/relation"
 	"repro/internal/stats"
+	"repro/internal/store"
 	"repro/internal/trie"
 )
 
@@ -81,6 +82,14 @@ type Config struct {
 	// error surfaces a client-side leak instead of letting the
 	// registry grow without bound.
 	MaxPrepared int
+	// DataDir, when non-empty, makes the engine persistent: relation
+	// snapshots, per-relation write-ahead logs, and trie index files
+	// live in this directory (format in docs/FORMAT.md). Only OpenEngine
+	// consults it — a populated directory boots warm (snapshots are
+	// mmap'd and the WALs replayed; the original dataset is not re-read)
+	// and every applied update is durable before it is acknowledged.
+	// NewEngine ignores DataDir and always builds a memory-only engine.
+	DataDir string
 }
 
 // DefaultMaxTuples is the eval response cap when neither the request
@@ -128,17 +137,33 @@ type Engine struct {
 	stmts   map[string]*Stmt
 	stmtSeq uint64
 
+	// pdb is the persistence layer (nil for memory-only engines): it
+	// owns the data directory's snapshots, WALs, and trie files, and
+	// the mmap'd pages live relations and indices alias. Engine.Close
+	// releases it after queries drain.
+	pdb *store.DB
+
 	life    stats.Locked
 	queries atomic.Int64
 	updates atomic.Int64
 	started time.Time
 }
 
-// NewEngine wraps db in a resident engine. The db (and its relations)
-// must not be mutated by the caller afterwards — the registry keys
-// cached tries by relation identity and all mutation must go through
-// Update.
+// NewEngine wraps db in a resident, memory-only engine (Config.DataDir
+// is ignored; see OpenEngine for persistence). The db (and its
+// relations) must not be mutated by the caller afterwards — the registry
+// keys cached tries by relation identity and all mutation must go
+// through Update.
 func NewEngine(db *relation.DB, cfg Config) *Engine {
+	return newEngine(db, cfg, nil)
+}
+
+// newEngine is the shared constructor: with stores == nil every relation
+// in db starts a fresh version chain at 0; otherwise stores supplies
+// prebuilt version chains (the warm-boot path — db must hold each
+// store's current Rel) and their patched versions are Observed so the
+// registry can serve them by patching the persisted base.
+func newEngine(db *relation.DB, cfg Config, stores map[string]*relation.Store) *Engine {
 	planCap := cfg.PlanCache
 	if planCap == 0 {
 		planCap = DefaultPlanCacheSize
@@ -175,19 +200,162 @@ func NewEngine(db *relation.DB, cfg Config) *Engine {
 			e.plans.invalidateEmbedding(rel, perm)
 		})
 	}
-	for _, name := range db.Names() {
-		r, err := db.Get(name)
-		if err != nil {
-			continue
+	if stores == nil {
+		for _, name := range db.Names() {
+			r, err := db.Get(name)
+			if err != nil {
+				continue
+			}
+			st := relation.NewStore(r)
+			if cfg.CompactFraction != 0 {
+				st.SetCompactFraction(cfg.CompactFraction)
+			}
+			e.stores[name] = st
+			e.versions[name] = st.Version()
 		}
-		st := relation.NewStore(r)
+	} else {
+		for name, st := range stores {
+			v := st.Version()
+			e.stores[name] = st
+			e.versions[name] = v
+			if e.reg != nil {
+				e.reg.Observe(v)
+			}
+		}
+	}
+	return e
+}
+
+// OpenEngine builds an engine honoring cfg.DataDir. With no data
+// directory it simply loads and wraps (warm == false, Close is a
+// no-op). Otherwise:
+//
+//   - A populated directory boots warm: every persisted relation is
+//     opened from its verified, mmap'd snapshot, its WAL is replayed
+//     through a fresh version chain (a compaction during replay rolls
+//     the snapshot forward), and load is never called — the original
+//     dataset files are not read. The registry is given the directory's
+//     trie files as an open-from-disk path, so the first query needs no
+//     trie builds either.
+//   - An empty directory boots cold: load supplies the database, every
+//     relation is snapshotted at version 0, and subsequent updates are
+//     durable (WAL append before acknowledgement) while full trie
+//     builds are written behind for the next boot.
+//
+// Corrupt snapshots or WALs make OpenEngine fail rather than serve the
+// data (torn WAL tails from a crash mid-append are recovered, not
+// failed). The caller must Close the engine after its queries drain —
+// live relations alias the mapped files.
+func OpenEngine(cfg Config, load func() (*relation.DB, error)) (e *Engine, warm bool, err error) {
+	if cfg.DataDir == "" {
+		db, err := load()
+		if err != nil {
+			return nil, false, err
+		}
+		return NewEngine(db, cfg), false, nil
+	}
+	pdb, err := store.Open(cfg.DataDir)
+	if err != nil {
+		return nil, false, err
+	}
+	defer func() {
+		if err != nil {
+			pdb.Close()
+		}
+	}()
+	names, err := pdb.Relations()
+	if err != nil {
+		return nil, false, err
+	}
+
+	var db *relation.DB
+	var stores map[string]*relation.Store
+	if warm = len(names) > 0; warm {
+		db = relation.NewDB()
+		stores = make(map[string]*relation.Store, len(names))
+		for _, name := range names {
+			st, err := bootRelation(pdb, name, cfg)
+			if err != nil {
+				return nil, false, err
+			}
+			stores[name] = st
+			db.Put(st.Version().Rel)
+		}
+	} else {
+		if db, err = load(); err != nil {
+			return nil, false, err
+		}
+		for _, name := range db.Names() {
+			r, gerr := db.Get(name)
+			if gerr != nil {
+				continue
+			}
+			if err := pdb.SaveRelation(name, r, 0); err != nil {
+				return nil, false, err
+			}
+		}
+	}
+
+	e = newEngine(db, cfg, stores)
+	e.pdb = pdb
+	if e.reg != nil {
+		// Misses try the directory's index files before building, and
+		// full builds are written behind so the next boot can open them.
+		// SaveTrie ignores non-persisted relations (patched versions) and
+		// swallows write failures — index files are an optimization.
+		e.reg.SetOpener(pdb.OpenTrie)
+		e.reg.SetBuildHook(func(rel *relation.Relation, perm []int, t *trie.Trie) {
+			pdb.SaveTrie(rel, perm, t)
+		})
+	}
+	return e, warm, nil
+}
+
+// bootRelation opens one persisted relation and replays its WAL into a
+// fresh version chain. If replay crossed the compaction crossover, the
+// snapshot is rolled forward to the compacted state (fresh generation,
+// reset WAL) so the next boot replays nothing.
+func bootRelation(pdb *store.DB, name string, cfg Config) (*relation.Store, error) {
+	rel, num, records, found, err := pdb.OpenRelation(name, -1)
+	if err != nil {
+		return nil, err
+	}
+	if !found {
+		return nil, fmt.Errorf("server: relation %q disappeared from %s during boot", name, cfg.DataDir)
+	}
+	mkStore := func(base *relation.Relation, at uint64) *relation.Store {
+		st := relation.NewStoreAt(base, at)
 		if cfg.CompactFraction != 0 {
 			st.SetCompactFraction(cfg.CompactFraction)
 		}
-		e.stores[name] = st
-		e.versions[name] = st.Version()
+		return st
 	}
-	return e
+	st := mkStore(rel, num)
+	for i, r := range records {
+		if _, _, err := st.ApplyDelta(r.Inserts, r.Deletes); err != nil {
+			return nil, fmt.Errorf("server: replaying %s wal record %d: %w", name, i, err)
+		}
+	}
+	if v := st.Version(); v.Base != rel {
+		// Replay compacted: persist the compacted state as the new base
+		// so boots converge instead of replaying an ever-longer log.
+		if err := pdb.SaveRelation(name, v.Rel, v.Num); err != nil {
+			return nil, err
+		}
+		st = mkStore(v.Rel, v.Num)
+	}
+	return st, nil
+}
+
+// Close releases the persistence layer: WAL handles and every mmap'd
+// snapshot. It must run only after in-flight queries have drained (live
+// iterators read the mapped pages directly); for memory-only engines it
+// is a no-op. The engine must not be used afterwards.
+func (e *Engine) Close() error {
+	if e.pdb == nil {
+		return nil
+	}
+	return e.pdb.Close()
 }
 
 // DB returns the engine's current database snapshot.
@@ -355,6 +523,24 @@ func (e *Engine) Update(req UpdateRequest) (*UpdateResult, error) {
 	}
 	var reclaim []*relation.Relation
 	if changed {
+		// Durability before visibility: the delta is fsync'd (or, past
+		// the compaction crossover, the fresh snapshot is renamed into
+		// place) before the new version is installed for queries, so an
+		// acknowledged update always survives a restart. A persistence
+		// failure is returned as an error; the in-memory chain has
+		// already advanced, so the engine keeps serving the new version
+		// but the caller knows it is not durable.
+		if e.pdb != nil {
+			var perr error
+			if v.Patched() {
+				perr = e.pdb.AppendDelta(req.Relation, v.Num, req.Inserts, req.Deletes)
+			} else {
+				perr = e.pdb.SaveRelation(req.Relation, v.Rel, v.Num)
+			}
+			if perr != nil {
+				return nil, fmt.Errorf("server: update applied but not persisted: %w", perr)
+			}
+		}
 		if e.reg != nil {
 			e.reg.Observe(v)
 		}
@@ -471,6 +657,12 @@ type EngineStats struct {
 	// Prepared is the number of prepared statements currently
 	// registered (Engine.Prepare / POST /prepare).
 	Prepared int `json:"prepared"`
+	// Persistence reports the data directory's activity — snapshot and
+	// WAL bytes written, records replayed, and mmap opens — when the
+	// engine was built by OpenEngine with Config.DataDir; nil (omitted)
+	// for memory-only engines. A warm-booted engine shows RelationOpens
+	// and TrieOpens with zero registry Builds for its first queries.
+	Persistence *store.Stats `json:"persistence,omitempty"`
 	// LiveVersions counts the relation versions currently reachable:
 	// one per relation, plus each patched relation's base version
 	// (kept resident as the patch substrate), plus every superseded
@@ -504,6 +696,10 @@ func (e *Engine) Stats() EngineStats {
 	}
 	if e.reg != nil {
 		s.Registry = e.reg.Stats()
+	}
+	if e.pdb != nil {
+		ps := e.pdb.Stats()
+		s.Persistence = &ps
 	}
 	s.Plans = e.plans.stats()
 	e.stmtMu.Lock()

@@ -86,6 +86,7 @@ type PlanCacheStats struct {
 	Capacity int `json:"capacity"`
 }
 
+// String renders the stats as a one-line summary for logs and CLIs.
 func (s PlanCacheStats) String() string {
 	return fmt.Sprintf("size=%d capacity=%d hits=%d misses=%d evictions=%d invalidations=%d",
 		s.Size, s.Capacity, s.Hits, s.Misses, s.Evictions, s.Invalidations)

@@ -52,6 +52,13 @@ type Counters struct {
 	// DeltaApplies counts relation-version transitions (Store.ApplyDelta
 	// calls that changed the relation) performed by this counter's owner.
 	DeltaApplies int64
+	// TrieOpens counts trie indices served by mapping a verified on-disk
+	// snapshot instead of building from the relation. A persistent engine
+	// restarted over a populated data directory answers its first query
+	// with TrieBuilds == 0 and TrieOpens tracking the mapped indices; the
+	// per-cell traffic of using an opened index is still charged through
+	// TrieAccesses, exactly as for a built one.
+	TrieOpens int64
 }
 
 // Total returns the total number of memory accesses of all kinds.
@@ -85,6 +92,7 @@ func (c *Counters) Add(o *Counters) {
 	c.TrieBuilds += o.TrieBuilds
 	c.TriePatches += o.TriePatches
 	c.DeltaApplies += o.DeltaApplies
+	c.TrieOpens += o.TrieOpens
 }
 
 // Merge folds the per-worker counters ws into c, in order. It is the
@@ -112,6 +120,6 @@ func (c *Counters) HitRate() float64 {
 
 // String renders the counters compactly for logs and experiment tables.
 func (c *Counters) String() string {
-	return fmt.Sprintf("trie=%d hash=%d tuple=%d total=%d hits=%d misses=%d builds=%d patches=%d",
-		c.TrieAccesses, c.HashAccesses, c.TupleAccesses, c.Total(), c.CacheHits, c.CacheMisses, c.TrieBuilds, c.TriePatches)
+	return fmt.Sprintf("trie=%d hash=%d tuple=%d total=%d hits=%d misses=%d builds=%d patches=%d opens=%d",
+		c.TrieAccesses, c.HashAccesses, c.TupleAccesses, c.Total(), c.CacheHits, c.CacheMisses, c.TrieBuilds, c.TriePatches, c.TrieOpens)
 }

@@ -1,0 +1,339 @@
+// Package store persists the engine's state: relation snapshots and trie
+// index snapshots in a checksummed, mmap-able container format, plus a
+// write-ahead log that makes the versioned relation store durable across
+// restarts. The on-disk byte layout is specified in docs/FORMAT.md; this
+// file implements the shared container (header, section table, page
+// checksums) that both snapshot kinds use.
+//
+// The design goal is warm restarts: a snapshot mirrors the in-memory
+// columnar arrays byte-for-byte, so opening one is an mmap plus a single
+// verification pass — no parsing, no sorting, no trie construction — and
+// the resulting slices alias the mapped file directly (zero copy). Every
+// open verifies all page checksums and the structural invariants before
+// any query can touch the data: a corrupt or truncated file is refused,
+// never served.
+package store
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// Container constants. See docs/FORMAT.md for the normative byte layout.
+const (
+	// FormatVersion is the on-disk format revision. Readers refuse files
+	// with a different version: the format carries no compatibility
+	// shims yet (forward-compatibility policy in docs/FORMAT.md).
+	FormatVersion = 1
+
+	// EndianMarker is stored in the header using the writer's native
+	// byte order. A reader whose native decoding does not reproduce it
+	// was built for the other endianness and must refuse the file,
+	// because the payload arrays are raw native-endian memory images.
+	EndianMarker = 0x0A0B0C0D
+
+	// PageSize is the checksum granularity over the payload: one CRC-32C
+	// per 64 KiB page (the last page may be short). Page-sized checksums
+	// localize corruption and keep the verify pass sequential.
+	PageSize = 64 * 1024
+
+	headerSize  = 64
+	sectionSize = 16 // {offset u64, length u64}
+)
+
+// Magic numbers, one per file kind.
+var (
+	MagicRelation = [8]byte{'C', 'L', 'T', 'J', 'S', 'N', 'P', '1'}
+	MagicTrie     = [8]byte{'C', 'L', 'T', 'J', 'T', 'R', 'I', '1'}
+	MagicWAL      = [8]byte{'C', 'L', 'T', 'J', 'W', 'A', 'L', '1'}
+)
+
+// crcTable selects the Castagnoli polynomial: hardware-accelerated on
+// amd64/arm64 via crc32.Castagnoli and with better error detection than
+// IEEE for storage workloads.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// nativeEndian is the writer's and reader's shared byte order. The
+// payload arrays are raw memory images, so scalar fields use the same
+// native order; the EndianMarker check refuses cross-endian files.
+var nativeEndian = binary.NativeEndian
+
+func crc(b []byte) uint32 { return crc32.Checksum(b, crcTable) }
+
+// header is the fixed 64-byte file preamble common to all three kinds.
+type header struct {
+	Magic      [8]byte
+	Version    uint32 // format revision (FormatVersion)
+	Arity      uint32 // relation arity / trie depth; 0 for WAL headers
+	Sections   uint32 // number of section-table entries
+	Generation uint64 // random stamp tying a file family together
+	VersionNum uint64 // relation version number the file reflects
+	PayloadLen uint64 // payload bytes (8-aligned); 0 for WAL headers
+}
+
+// section locates one array inside the payload. Offsets are relative to
+// the payload start and 8-aligned so int64 views stay aligned under mmap
+// (the payload itself starts 8-aligned in the file, and mmap bases are
+// page-aligned).
+type section struct {
+	Off uint64
+	Len uint64 // exact byte length; the gap to the next section is padding
+}
+
+// encodeHeader renders h into a fresh 64-byte block. All scalar fields
+// are encoded with the native byte order (on every supported target:
+// little-endian); the endian marker is what detects a foreign file.
+func encodeHeader(h header) []byte {
+	b := make([]byte, headerSize)
+	copy(b[0:8], h.Magic[:])
+	nativeEndian.PutUint32(b[8:12], EndianMarker)
+	nativeEndian.PutUint32(b[12:16], h.Version)
+	nativeEndian.PutUint32(b[16:20], h.Arity)
+	nativeEndian.PutUint32(b[20:24], h.Sections)
+	nativeEndian.PutUint64(b[24:32], h.Generation)
+	nativeEndian.PutUint64(b[32:40], h.VersionNum)
+	nativeEndian.PutUint64(b[40:48], h.PayloadLen)
+	nativeEndian.PutUint32(b[48:52], PageSize)
+	// b[52:60] reserved, zero.
+	nativeEndian.PutUint32(b[60:64], crc(b[:60]))
+	return b
+}
+
+// decodeHeader parses and verifies a 64-byte header block: magic, endian
+// marker, header CRC, format version, and page size must all check out.
+func decodeHeader(b []byte, wantMagic [8]byte) (header, error) {
+	var h header
+	if len(b) < headerSize {
+		return h, fmt.Errorf("store: file shorter than the %d-byte header", headerSize)
+	}
+	copy(h.Magic[:], b[0:8])
+	if h.Magic != wantMagic {
+		return h, fmt.Errorf("store: bad magic %q, want %q", h.Magic[:], wantMagic[:])
+	}
+	if m := nativeEndian.Uint32(b[8:12]); m != EndianMarker {
+		return h, fmt.Errorf("store: endianness marker %#x does not decode natively (want %#x): file written with foreign byte order", m, uint32(EndianMarker))
+	}
+	if got, want := crc(b[:60]), nativeEndian.Uint32(b[60:64]); got != want {
+		return h, fmt.Errorf("store: header checksum mismatch (got %#x, want %#x)", got, want)
+	}
+	h.Version = nativeEndian.Uint32(b[12:16])
+	if h.Version != FormatVersion {
+		return h, fmt.Errorf("store: format version %d not supported (reader handles %d)", h.Version, FormatVersion)
+	}
+	h.Arity = nativeEndian.Uint32(b[16:20])
+	h.Sections = nativeEndian.Uint32(b[20:24])
+	h.Generation = nativeEndian.Uint64(b[24:32])
+	h.VersionNum = nativeEndian.Uint64(b[32:40])
+	h.PayloadLen = nativeEndian.Uint64(b[40:48])
+	if ps := nativeEndian.Uint32(b[48:52]); ps != PageSize {
+		return h, fmt.Errorf("store: page size %d not supported (want %d)", ps, PageSize)
+	}
+	return h, nil
+}
+
+// align8 rounds n up to the next multiple of 8.
+func align8(n int) int { return (n + 7) &^ 7 }
+
+// payloadOffset is where the payload begins for a file with n sections:
+// header, section table, table CRC, then padding to 8 alignment.
+func payloadOffset(n int) int { return align8(headerSize + n*sectionSize + 4) }
+
+// numPages returns how many checksum pages cover payloadLen bytes.
+func numPages(payloadLen int) int { return (payloadLen + PageSize - 1) / PageSize }
+
+// writeContainer writes a complete snapshot container to path atomically:
+// the file is assembled in a same-directory temp file, fsync'd, and
+// renamed into place, so readers only ever observe either the old file or
+// the complete new one. sections describes the payload arrays; write is
+// called once per section with the destination slice of a fully
+// assembled in-memory image (snapshot payloads are bounded by the trie
+// byte budget, so buffering the image is acceptable and keeps the
+// checksum pass single-threaded and simple). Returns total bytes written.
+func writeContainer(path string, h header, sections []section, fill func(i int, dst []byte)) (int64, error) {
+	if len(sections) > 0 {
+		last := sections[len(sections)-1]
+		h.PayloadLen = uint64(align8(int(last.Off + last.Len)))
+	} else {
+		h.PayloadLen = 0
+	}
+	h.Version = FormatVersion
+	h.Sections = uint32(len(sections))
+
+	payLen := int(h.PayloadLen)
+	off := payloadOffset(len(sections))
+	total := off + payLen + 4*numPages(payLen) + 4
+	buf := make([]byte, total)
+
+	copy(buf, encodeHeader(h))
+	tab := buf[headerSize:]
+	for i, s := range sections {
+		nativeEndian.PutUint64(tab[i*sectionSize:], s.Off)
+		nativeEndian.PutUint64(tab[i*sectionSize+8:], s.Len)
+	}
+	tabEnd := len(sections) * sectionSize
+	nativeEndian.PutUint32(tab[tabEnd:], crc(tab[:tabEnd]))
+
+	payload := buf[off : off+payLen]
+	for i, s := range sections {
+		fill(i, payload[s.Off:s.Off+s.Len])
+	}
+
+	crcs := buf[off+payLen:]
+	for p := 0; p < numPages(payLen); p++ {
+		lo := p * PageSize
+		hi := min(lo+PageSize, payLen)
+		nativeEndian.PutUint32(crcs[4*p:], crc(payload[lo:hi]))
+	}
+	pagesEnd := 4 * numPages(payLen)
+	nativeEndian.PutUint32(crcs[pagesEnd:], crc(crcs[:pagesEnd]))
+
+	if err := atomicWrite(path, buf); err != nil {
+		return 0, err
+	}
+	return int64(total), nil
+}
+
+// openContainer maps (or reads) the container at path and verifies it
+// completely: header, section table CRC, every payload page CRC, the
+// page-table CRC, and section extents. On success the returned view's
+// payload slice aliases the mapping; the caller must keep the mapping
+// referenced for as long as any derived slice lives (DB retains them
+// until Close).
+type containerView struct {
+	h        header
+	sections []section
+	payload  []byte
+	m        *mapping
+}
+
+func openContainer(path string, wantMagic [8]byte) (*containerView, error) {
+	m, err := mapFile(path)
+	if err != nil {
+		return nil, err
+	}
+	v, err := verifyContainer(m.data, wantMagic)
+	if err != nil {
+		m.close()
+		return nil, fmt.Errorf("%s: %w", filepath.Base(path), err)
+	}
+	v.m = m
+	return v, nil
+}
+
+// verifyContainer checks a complete in-memory container image. Split out
+// from openContainer so tests can corrupt images directly.
+func verifyContainer(b []byte, wantMagic [8]byte) (*containerView, error) {
+	h, err := decodeHeader(b, wantMagic)
+	if err != nil {
+		return nil, err
+	}
+	nSec := int(h.Sections)
+	off := payloadOffset(nSec)
+	payLen := int(h.PayloadLen)
+	if payLen%8 != 0 {
+		return nil, fmt.Errorf("store: payload length %d not 8-aligned", payLen)
+	}
+	want := off + payLen + 4*numPages(payLen) + 4
+	if len(b) != want {
+		return nil, fmt.Errorf("store: file is %d bytes, want %d (truncated or trailing garbage)", len(b), want)
+	}
+
+	tab := b[headerSize:]
+	tabEnd := nSec * sectionSize
+	if got, wantCRC := crc(tab[:tabEnd]), nativeEndian.Uint32(tab[tabEnd:]); got != wantCRC {
+		return nil, fmt.Errorf("store: section table checksum mismatch")
+	}
+	sections := make([]section, nSec)
+	prevEnd := uint64(0)
+	for i := range sections {
+		s := section{
+			Off: nativeEndian.Uint64(tab[i*sectionSize:]),
+			Len: nativeEndian.Uint64(tab[i*sectionSize+8:]),
+		}
+		if s.Off%8 != 0 {
+			return nil, fmt.Errorf("store: section %d offset %d not 8-aligned", i, s.Off)
+		}
+		if s.Off < prevEnd || s.Off+s.Len > uint64(payLen) {
+			return nil, fmt.Errorf("store: section %d extent [%d,%d) out of bounds or overlapping", i, s.Off, s.Off+s.Len)
+		}
+		prevEnd = s.Off + s.Len
+		sections[i] = s
+	}
+
+	payload := b[off : off+payLen]
+	crcs := b[off+payLen:]
+	pagesEnd := 4 * numPages(payLen)
+	if got, wantCRC := crc(crcs[:pagesEnd]), nativeEndian.Uint32(crcs[pagesEnd:]); got != wantCRC {
+		return nil, fmt.Errorf("store: page checksum table corrupt")
+	}
+	for p := 0; p < numPages(payLen); p++ {
+		lo := p * PageSize
+		hi := min(lo+PageSize, payLen)
+		if got, wantCRC := crc(payload[lo:hi]), nativeEndian.Uint32(crcs[4*p:]); got != wantCRC {
+			return nil, fmt.Errorf("store: payload page %d checksum mismatch", p)
+		}
+	}
+	return &containerView{h: h, sections: sections, payload: payload}, nil
+}
+
+// atomicWrite writes data to path via a same-directory temp file, fsync,
+// and rename, then fsyncs the directory so the rename itself is durable.
+func atomicWrite(path string, data []byte) error {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	cleanup := func(err error) error {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory, making renames within it durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	// Some platforms cannot fsync directories; the rename is still
+	// atomic, just not durable over power loss there.
+	if err := d.Sync(); err != nil && err != io.EOF {
+		return nil //nolint:nilerr // best effort by design
+	}
+	return nil
+}
+
+// newGeneration draws a random 64-bit stamp used to tie a snapshot, its
+// WAL, and its trie files together. Collisions across the lifetime of
+// one data directory are vanishingly unlikely (2^-64 per pair).
+func newGeneration() uint64 {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("store: cannot read random generation: %v", err))
+	}
+	return binary.LittleEndian.Uint64(b[:])
+}

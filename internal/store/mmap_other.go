@@ -1,0 +1,33 @@
+//go:build !unix
+
+package store
+
+import "os"
+
+// mapping on non-unix platforms is a plain read of the file into an
+// 8-aligned heap buffer — the same zero-copy aliasing downstream (slices
+// point into data), just without demand paging. Warm restarts still skip
+// parsing and trie construction.
+type mapping struct {
+	data   []byte
+	mapped bool // always false here
+}
+
+func mapFile(path string) (*mapping, error) {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	// Re-house the bytes in an int64-backed buffer so the payload's
+	// 8-aligned file offsets stay 8-aligned in memory (unsafe.Slice on
+	// int64 views requires it; mmap gives page alignment for free).
+	buf := make([]int64, (len(raw)+7)/8)
+	b := int64sAsBytes(buf)[:len(raw)]
+	copy(b, raw)
+	return &mapping{data: b}, nil
+}
+
+func (m *mapping) close() error {
+	m.data = nil
+	return nil
+}

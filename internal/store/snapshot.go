@@ -1,0 +1,142 @@
+package store
+
+import (
+	"fmt"
+
+	"repro/internal/relation"
+	"repro/internal/trie"
+)
+
+// Relation snapshots (.snap) and trie snapshots (.trie): concrete
+// encodings over the shared container. A relation snapshot has one
+// section — the flat sorted tuple array. A trie snapshot has two
+// sections per level, values then child offsets, in depth order; its
+// header's Arity field is the trie depth and its Generation must equal
+// the relation snapshot's, which is what invalidates stale index files
+// when the data is re-imported or compacted.
+
+// writeRelationSnapshot writes rel (at version num, stamped gen) to path
+// atomically and returns the file size.
+func writeRelationSnapshot(path string, rel *relation.Relation, num, gen uint64) (int64, error) {
+	data := rel.Data()
+	h := header{
+		Magic:      MagicRelation,
+		Arity:      uint32(rel.Arity()),
+		Generation: gen,
+		VersionNum: num,
+	}
+	secs := []section{{Off: 0, Len: uint64(len(data) * 8)}}
+	return writeContainer(path, h, secs, func(_ int, dst []byte) {
+		copy(dst, int64sAsBytes(data))
+	})
+}
+
+// openRelationSnapshot maps path and reconstructs the relation around
+// the mapped tuple array (zero copy). Beyond the container checks it
+// verifies the relation invariant — strictly increasing tuples — so a
+// checksummed-but-impossible file is refused rather than served.
+func openRelationSnapshot(path, name string) (*relation.Relation, header, *mapping, error) {
+	v, err := openContainer(path, MagicRelation)
+	if err != nil {
+		return nil, header{}, nil, err
+	}
+	fail := func(err error) (*relation.Relation, header, *mapping, error) {
+		v.m.close()
+		return nil, header{}, nil, err
+	}
+	if len(v.sections) != 1 {
+		return fail(fmt.Errorf("store: relation snapshot has %d sections, want 1", len(v.sections)))
+	}
+	s := v.sections[0]
+	if s.Len%8 != 0 {
+		return fail(fmt.Errorf("store: relation snapshot data length %d not a multiple of 8", s.Len))
+	}
+	data := bytesAsInt64s(v.payload[s.Off : s.Off+s.Len])
+	arity := int(v.h.Arity)
+	rel, err := relation.FromSorted(name, arity, data)
+	if err != nil {
+		return fail(err)
+	}
+	n := rel.Len()
+	for i := 1; i < n; i++ {
+		if relation.CompareTuples(rel.Tuple(i-1), rel.Tuple(i)) >= 0 {
+			return fail(fmt.Errorf("store: relation snapshot tuples not strictly sorted at %d", i))
+		}
+	}
+	return rel, v.h, v.m, nil
+}
+
+// writeTrieSnapshot writes t's level arrays to path atomically, stamped
+// with the owning relation snapshot's generation and version. Patched
+// tries refuse to snapshot (see trie.Snapshot); callers only persist
+// full builds.
+func writeTrieSnapshot(path string, t *trie.Trie, num, gen uint64) (int64, error) {
+	levels, err := t.Snapshot()
+	if err != nil {
+		return 0, err
+	}
+	h := header{
+		Magic:      MagicTrie,
+		Arity:      uint32(len(levels)),
+		Generation: gen,
+		VersionNum: num,
+	}
+	secs := make([]section, 0, 2*len(levels))
+	off := 0
+	push := func(byteLen int) {
+		secs = append(secs, section{Off: uint64(off), Len: uint64(byteLen)})
+		off = align8(off + byteLen)
+	}
+	for _, lvl := range levels {
+		push(len(lvl.Vals) * 8)
+		push(len(lvl.Start) * 4)
+	}
+	return writeContainer(path, h, secs, func(i int, dst []byte) {
+		lvl := levels[i/2]
+		if i%2 == 0 {
+			copy(dst, int64sAsBytes(lvl.Vals))
+		} else {
+			copy(dst, int32sAsBytes(lvl.Start))
+		}
+	})
+}
+
+// openTrieSnapshot maps path and reconstructs the trie around the mapped
+// level arrays (zero copy). wantGen/wantNum tie the index file to the
+// relation snapshot the caller booted from: a mismatch means the file
+// describes other data and is refused. Structural validation happens in
+// trie.FromLevels before any iterator can read the arrays.
+func openTrieSnapshot(path string, wantGen, wantNum uint64) (*trie.Trie, *mapping, error) {
+	v, err := openContainer(path, MagicTrie)
+	if err != nil {
+		return nil, nil, err
+	}
+	fail := func(err error) (*trie.Trie, *mapping, error) {
+		v.m.close()
+		return nil, nil, err
+	}
+	if v.h.Generation != wantGen || v.h.VersionNum != wantNum {
+		return fail(fmt.Errorf("store: trie snapshot generation/version (%#x, %d) does not match relation snapshot (%#x, %d)",
+			v.h.Generation, v.h.VersionNum, wantGen, wantNum))
+	}
+	depth := int(v.h.Arity)
+	if depth == 0 || len(v.sections) != 2*depth {
+		return nil, nil, fmt.Errorf("store: trie snapshot has %d sections for depth %d, want %d", len(v.sections), depth, 2*depth)
+	}
+	levels := make([]trie.LevelData, depth)
+	for d := 0; d < depth; d++ {
+		vs, ss := v.sections[2*d], v.sections[2*d+1]
+		if vs.Len%8 != 0 || ss.Len%4 != 0 {
+			return fail(fmt.Errorf("store: trie snapshot level %d has misaligned section lengths", d))
+		}
+		levels[d] = trie.LevelData{
+			Vals:  bytesAsInt64s(v.payload[vs.Off : vs.Off+vs.Len]),
+			Start: bytesAsInt32s(v.payload[ss.Off : ss.Off+ss.Len]),
+		}
+	}
+	t, err := trie.FromLevels(levels)
+	if err != nil {
+		return fail(err)
+	}
+	return t, v.m, nil
+}

@@ -1,0 +1,532 @@
+package store
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/trie"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// Fixed stamps so golden bytes are deterministic.
+const (
+	goldGen = 0x0123456789ABCDEF
+	goldNum = 7
+)
+
+func tinyRelation(t *testing.T) *relation.Relation {
+	t.Helper()
+	return relation.MustNew("r", 2, [][]int64{{1, 2}, {1, 3}, {2, 1}})
+}
+
+func sameLevels(t *testing.T, a, b *trie.Trie) {
+	t.Helper()
+	la, err := a.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot a: %v", err)
+	}
+	lb, err := b.Snapshot()
+	if err != nil {
+		t.Fatalf("snapshot b: %v", err)
+	}
+	if len(la) != len(lb) {
+		t.Fatalf("depth %d != %d", len(la), len(lb))
+	}
+	for d := range la {
+		if !equalInt64s(la[d].Vals, lb[d].Vals) || !equalInt32s(la[d].Start, lb[d].Start) {
+			t.Fatalf("level %d differs:\n a: %v %v\n b: %v %v", d, la[d].Vals, la[d].Start, lb[d].Vals, lb[d].Start)
+		}
+	}
+}
+
+func equalInt64s(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalInt32s(a, b []int32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRelationSnapshotRoundTrip(t *testing.T) {
+	rel := tinyRelation(t)
+	path := filepath.Join(t.TempDir(), "r.snap")
+	if _, err := writeRelationSnapshot(path, rel, goldNum, goldGen); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, h, m, err := openRelationSnapshot(path, "r")
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer m.close()
+	if h.Generation != goldGen || h.VersionNum != goldNum || int(h.Arity) != 2 {
+		t.Fatalf("header = %+v", h)
+	}
+	if got.Len() != rel.Len() || !equalInt64s(got.Data(), rel.Data()) {
+		t.Fatalf("data mismatch: %v vs %v", got.Data(), rel.Data())
+	}
+}
+
+func TestTrieSnapshotRoundTrip(t *testing.T) {
+	tr := trie.Build(tinyRelation(t), nil)
+	path := filepath.Join(t.TempDir(), "r.0001.trie")
+	if _, err := writeTrieSnapshot(path, tr, goldNum, goldGen); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, m, err := openTrieSnapshot(path, goldGen, goldNum)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer m.close()
+	sameLevels(t, tr, got)
+
+	if _, _, err := openTrieSnapshot(path, goldGen+1, goldNum); err == nil {
+		t.Fatal("generation mismatch not refused")
+	}
+	if _, _, err := openTrieSnapshot(path, goldGen, goldNum+1); err == nil {
+		t.Fatal("version mismatch not refused")
+	}
+}
+
+// TestGoldenBytes pins the on-disk encoding: a change to the format that
+// alters these bytes must bump FormatVersion and update docs/FORMAT.md
+// (regenerate with go test ./internal/store -update). The golden files
+// are also re-opened, proving the committed bytes stay readable.
+func TestGoldenBytes(t *testing.T) {
+	rel := tinyRelation(t)
+	tr := trie.Build(rel, nil)
+	dir := t.TempDir()
+
+	snapPath := filepath.Join(dir, "tiny.snap")
+	triePath := filepath.Join(dir, "tiny.trie")
+	if _, err := writeRelationSnapshot(snapPath, rel, goldNum, goldGen); err != nil {
+		t.Fatalf("write snap: %v", err)
+	}
+	if _, err := writeTrieSnapshot(triePath, tr, goldNum, goldGen); err != nil {
+		t.Fatalf("write trie: %v", err)
+	}
+
+	for _, tc := range []struct{ fresh, golden string }{
+		{snapPath, "tiny.snap.golden"},
+		{triePath, "tiny.trie.golden"},
+	} {
+		fresh, err := os.ReadFile(tc.fresh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		goldenPath := filepath.Join("testdata", tc.golden)
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(goldenPath, fresh, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+		golden, err := os.ReadFile(goldenPath)
+		if err != nil {
+			t.Fatalf("read golden (run with -update to create): %v", err)
+		}
+		if !bytes.Equal(fresh, golden) {
+			t.Errorf("%s: on-disk bytes changed (len %d vs golden %d); if intentional, bump FormatVersion, update docs/FORMAT.md and regenerate with -update",
+				tc.golden, len(fresh), len(golden))
+		}
+	}
+
+	// The committed bytes must keep decoding to the same data.
+	got, _, m, err := openRelationSnapshot(filepath.Join("testdata", "tiny.snap.golden"), "r")
+	if err != nil {
+		t.Fatalf("open golden snap: %v", err)
+	}
+	defer m.close()
+	if !equalInt64s(got.Data(), rel.Data()) {
+		t.Fatal("golden snapshot decodes to different tuples")
+	}
+	gt, m2, err := openTrieSnapshot(filepath.Join("testdata", "tiny.trie.golden"), goldGen, goldNum)
+	if err != nil {
+		t.Fatalf("open golden trie: %v", err)
+	}
+	defer m2.close()
+	sameLevels(t, tr, gt)
+}
+
+func TestSnapshotCorruptionRefused(t *testing.T) {
+	rel := tinyRelation(t)
+	dir := t.TempDir()
+	path := filepath.Join(dir, "r.snap")
+	if _, err := writeRelationSnapshot(path, rel, goldNum, goldGen); err != nil {
+		t.Fatal(err)
+	}
+	pristine, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(name string, mutate func([]byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			b := mutate(append([]byte(nil), pristine...))
+			p := filepath.Join(dir, name+".snap")
+			if err := os.WriteFile(p, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			if _, _, m, err := openRelationSnapshot(p, "r"); err == nil {
+				m.close()
+				t.Fatal("corrupt snapshot served")
+			}
+		})
+	}
+	corrupt("bitflip-payload", func(b []byte) []byte { b[len(b)-20] ^= 0x40; return b })
+	corrupt("bitflip-header", func(b []byte) []byte { b[17] ^= 0x01; return b })
+	corrupt("truncated", func(b []byte) []byte { return b[:len(b)-5] })
+	corrupt("truncated-header", func(b []byte) []byte { return b[:10] })
+	corrupt("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	corrupt("unsorted", func(b []byte) []byte {
+		// Swap the first two tuples in the payload, then fix that page's
+		// CRC so only the structural check can catch it.
+		off := payloadOffset(1)
+		for i := 0; i < 16; i++ {
+			b[off+i], b[off+16+i] = b[off+16+i], b[off+i]
+		}
+		payLen := int(nativeEndian.Uint64(b[40:48]))
+		nativeEndian.PutUint32(b[off+payLen:], crc(b[off:off+payLen]))
+		pagesEnd := 4 * numPages(payLen)
+		nativeEndian.PutUint32(b[off+payLen+pagesEnd:], crc(b[off+payLen:off+payLen+pagesEnd]))
+		return b
+	})
+}
+
+func TestWALAppendReplay(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.wal")
+	w, err := createWAL(path, 2, goldGen, goldNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(goldNum+1, [][]int64{{5, 6}, {7, 8}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(goldNum+2, nil, [][]int64{{5, 6}}); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	w2, recs, torn, err := openWAL(path, 2, goldGen, goldNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if torn != 0 {
+		t.Fatalf("torn = %d on a clean log", torn)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("replayed %d records, want 2", len(recs))
+	}
+	if recs[0].Version != goldNum+1 || len(recs[0].Inserts) != 2 || len(recs[0].Deletes) != 0 {
+		t.Fatalf("record 0 = %+v", recs[0])
+	}
+	if recs[1].Version != goldNum+2 || len(recs[1].Deletes) != 1 || recs[1].Deletes[0][0] != 5 {
+		t.Fatalf("record 1 = %+v", recs[1])
+	}
+	// The reopened log keeps accepting appends after its records.
+	if _, err := w2.append(goldNum+3, [][]int64{{9, 9}}, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALTornTail simulates a crash mid-append: a partial record at the
+// tail must be truncated away and every record before it replayed.
+func TestWALTornTail(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.wal")
+	w, err := createWAL(path, 2, goldGen, goldNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(goldNum+1, [][]int64{{1, 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	clean, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cut := 1; cut < 30; cut += 7 { // several torn shapes, incl. a cut record header
+		b := append([]byte(nil), clean...)
+		b = append(b, make([]byte, walRecordHeader+40)[:cut]...) // a record the crash half-wrote
+		if cut > 4 {
+			nativeEndian.PutUint32(b[len(clean):], 40) // announced length larger than what's on disk
+		}
+		if err := os.WriteFile(path, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		w2, recs, torn, err := openWAL(path, 2, goldGen, goldNum)
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if len(recs) != 1 || torn != int64(cut) {
+			t.Fatalf("cut %d: got %d records, torn %d", cut, len(recs), torn)
+		}
+		// After recovery the log must be append-clean again.
+		if _, err := w2.append(goldNum+2, [][]int64{{2, 2}}, nil); err != nil {
+			t.Fatal(err)
+		}
+		w2.close()
+		w3, recs3, _, err := openWAL(path, 2, goldGen, goldNum)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(recs3) != 2 {
+			t.Fatalf("cut %d: post-recovery log replays %d records, want 2", cut, len(recs3))
+		}
+		w3.close()
+	}
+}
+
+// TestWALBitFlipRefused: a checksum failure on a *complete* record is
+// corruption, not a torn append — the log must refuse, never replay.
+func TestWALBitFlipRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.wal")
+	w, err := createWAL(path, 2, goldGen, goldNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(goldNum+1, [][]int64{{1, 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(goldNum+2, [][]int64{{2, 2}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[headerSize+walRecordHeader+3] ^= 0x10 // flip a payload byte of record 0
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := openWAL(path, 2, goldGen, goldNum); err == nil {
+		t.Fatal("bit-flipped WAL replayed")
+	}
+}
+
+// TestWALStaleGenerationDiscarded covers the crash window between a
+// compaction's snapshot rename and its WAL reset: the leftover log
+// carries the old generation and its effects are already in the new
+// snapshot, so boot must discard it silently.
+func TestWALStaleGenerationDiscarded(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.wal")
+	w, err := createWAL(path, 2, goldGen, goldNum)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.append(goldNum+1, [][]int64{{1, 1}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	w.close()
+
+	newGen := uint64(goldGen + 99)
+	w2, recs, _, err := openWAL(path, 2, newGen, goldNum+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w2.close()
+	if len(recs) != 0 {
+		t.Fatalf("stale-generation WAL replayed %d records", len(recs))
+	}
+	// And the reset log is usable under the new stamp.
+	if _, err := w2.append(goldNum+2, [][]int64{{3, 3}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	w3, recs3, _, err := openWAL(path, 2, newGen, goldNum+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w3.close()
+	if len(recs3) != 1 {
+		t.Fatalf("reset log replays %d records, want 1", len(recs3))
+	}
+}
+
+// TestDBLifecycle drives the full manager the way the engine does:
+// bootstrap, durable deltas, trie write-behind, restart with replay, and
+// compaction invalidating index files.
+func TestDBLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rel := tinyRelation(t)
+	if err := db.SaveRelation("r", rel, 0); err != nil {
+		t.Fatal(err)
+	}
+	st := relation.NewStore(rel)
+	apply := func(ins, del [][]int64) relation.Version {
+		v, changed, err := st.ApplyDelta(ins, del)
+		if err != nil || !changed {
+			t.Fatalf("apply: changed=%v err=%v", changed, err)
+		}
+		if err := db.AppendDelta("r", v.Num, ins, del); err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	apply([][]int64{{10, 10}}, nil)
+	v := apply([][]int64{{11, 11}}, [][]int64{{1, 2}})
+
+	// Write-behind index persistence for the base snapshot.
+	perm := []int{0, 1}
+	baseTrie := trie.Build(rel, nil)
+	if !db.SaveTrie(rel, perm, baseTrie) {
+		t.Fatal("SaveTrie skipped the persisted base")
+	}
+	if db.SaveTrie(v.Rel, perm, trie.Build(v.Rel, nil)) {
+		t.Fatal("SaveTrie persisted a non-base relation")
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: open, replay, and land on the same final relation.
+	db2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	rel2, num, recs, found, err := db2.OpenRelation("r", 2)
+	if err != nil || !found {
+		t.Fatalf("open: found=%v err=%v", found, err)
+	}
+	if num != 0 || !equalInt64s(rel2.Data(), rel.Data()) {
+		t.Fatalf("base mismatch: num=%d", num)
+	}
+	st2 := relation.NewStoreAt(rel2, num)
+	for _, r := range recs {
+		if _, _, err := st2.ApplyDelta(r.Inserts, r.Deletes); err != nil {
+			t.Fatal(err)
+		}
+	}
+	v2 := st2.Version()
+	if v2.Num != v.Num || !equalInt64s(v2.Rel.Data(), v.Rel.Data()) {
+		t.Fatalf("replayed version %d != live version %d (or data differs)", v2.Num, v.Num)
+	}
+
+	// The persisted index opens without a build and matches the build.
+	opened := db2.OpenTrie(rel2, perm)
+	if opened == nil {
+		t.Fatal("OpenTrie missed a persisted index")
+	}
+	sameLevels(t, baseTrie, opened)
+	if db2.OpenTrie(rel2, []int{1, 0}) != nil {
+		t.Fatal("OpenTrie served a column order that was never saved")
+	}
+
+	// Compaction rewrites the snapshot under a new generation: the WAL
+	// resets and stale index files stop being served.
+	if err := db2.SaveRelation("r", v2.Rel, v2.Num); err != nil {
+		t.Fatal(err)
+	}
+	if db2.OpenTrie(rel2, perm) != nil {
+		t.Fatal("stale trie served after compaction")
+	}
+	s := db2.Stats()
+	if s.SnapshotWrites != 1 || s.RelationOpens != 1 || s.TrieOpens != 1 || s.WALReplayed != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+
+	// Third boot: the compacted snapshot is the new base with no WAL.
+	db3, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db3.Close()
+	rel3, num3, recs3, found, err := db3.OpenRelation("r", 2)
+	if err != nil || !found {
+		t.Fatalf("open after compaction: found=%v err=%v", found, err)
+	}
+	if num3 != v2.Num || len(recs3) != 0 || !equalInt64s(rel3.Data(), v2.Rel.Data()) {
+		t.Fatalf("after compaction: num=%d records=%d", num3, len(recs3))
+	}
+	names, err := db3.Relations()
+	if err != nil || len(names) != 1 || names[0] != "r" {
+		t.Fatalf("Relations() = %v, %v", names, err)
+	}
+}
+
+// TestDBTrieCorruptionFallsBack: a damaged index file must be ignored
+// (nil → registry rebuilds), never served.
+func TestDBTrieCorruptionFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	db, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rel := tinyRelation(t)
+	if err := db.SaveRelation("r", rel, 0); err != nil {
+		t.Fatal(err)
+	}
+	perm := []int{0, 1}
+	if !db.SaveTrie(rel, perm, trie.Build(rel, nil)) {
+		t.Fatal("save failed")
+	}
+	path := db.triePath("r", perm)
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)-9] ^= 0x02
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if db.OpenTrie(rel, perm) != nil {
+		t.Fatal("corrupt trie snapshot served")
+	}
+}
+
+func TestSafeName(t *testing.T) {
+	cases := map[string]string{
+		"ca-GrQc":  "ca-GrQc",
+		"a/b":      "a%2Fb",
+		"x%y":      "x%25y",
+		"":         "%-",
+		"plain_1.": "plain_1.",
+	}
+	for in, want := range cases {
+		got := safeName(in)
+		if got != want {
+			t.Errorf("safeName(%q) = %q, want %q", in, got, want)
+		}
+		back, err := unescapeName(got)
+		if err != nil || back != in {
+			t.Errorf("unescapeName(%q) = %q, %v; want %q", got, back, err, in)
+		}
+	}
+	if safeName("a/b") == safeName("a%2Fb") {
+		t.Error("safeName not injective")
+	}
+	if _, err := unescapeName("bad%zz"); err == nil {
+		t.Error("bad escape accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package store
+
+import "unsafe"
+
+// Reinterpreting byte views: the payload arrays on disk are raw memory
+// images of []int64 / []int32, so opening a snapshot is a cast, not a
+// decode. All offsets handed to these helpers are 8-aligned (enforced by
+// the container format), which satisfies the alignment contract of
+// unsafe.Slice for both element widths.
+
+func int64sAsBytes(s []int64) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*8)
+}
+
+func int32sAsBytes(s []int32) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*4)
+}
+
+func bytesAsInt64s(b []byte) []int64 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int64)(unsafe.Pointer(&b[0])), len(b)/8)
+}
+
+func bytesAsInt32s(b []byte) []int32 {
+	if len(b) == 0 {
+		return nil
+	}
+	return unsafe.Slice((*int32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

@@ -43,6 +43,8 @@ type Registry struct {
 	tail         *regEntry // most recently used
 	stats        RegistryStats
 	evictHook    func(rel *relation.Relation, perm string)
+	opener       func(rel *relation.Relation, perm []int) *Trie
+	buildHook    func(rel *relation.Relation, perm []int, t *Trie)
 	buildWorkers int // goroutines per index construction (<=1: sequential)
 }
 
@@ -69,10 +71,13 @@ type RegistryStats struct {
 	// Hits and Builds count Get calls served from the registry and Get
 	// calls that had to construct the trie, respectively. Patches is the
 	// subset of Builds answered by a copy-on-write patch of a resident
-	// base index rather than a full construction.
+	// base index rather than a full construction; Opens is the subset
+	// answered by mapping an on-disk trie snapshot (SetOpener) — neither
+	// pays a construction over the relation.
 	Hits    int64 `json:"hits"`
 	Builds  int64 `json:"builds"`
 	Patches int64 `json:"patches"`
+	Opens   int64 `json:"opens"`
 	// Evictions counts entries dropped to respect the byte budget;
 	// Released counts entries dropped by epoch reclamation of
 	// superseded relation versions (Release).
@@ -86,8 +91,8 @@ type RegistryStats struct {
 }
 
 func (s RegistryStats) String() string {
-	return fmt.Sprintf("entries=%d bytes=%d budget=%d hits=%d builds=%d patches=%d evictions=%d released=%d",
-		s.Entries, s.Bytes, s.Budget, s.Hits, s.Builds, s.Patches, s.Evictions, s.Released)
+	return fmt.Sprintf("entries=%d bytes=%d budget=%d hits=%d builds=%d patches=%d opens=%d evictions=%d released=%d",
+		s.Entries, s.Bytes, s.Budget, s.Hits, s.Builds, s.Patches, s.Opens, s.Evictions, s.Released)
 }
 
 // NewRegistry returns an empty registry bounded to budgetBytes resident
@@ -127,6 +132,33 @@ func (r *Registry) SetBuildWorkers(workers int) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.buildWorkers = workers
+}
+
+// SetOpener registers a function consulted on every registry miss before
+// any construction: it may return a ready trie over rel permuted by perm
+// — in practice one reconstructed around an mmap'd on-disk snapshot — or
+// nil to fall through to the patch/build paths. An open is charged as
+// TrieOpens (never TrieBuilds) on the requesting counters and as Opens in
+// the registry stats; the entry is cached, byte-budgeted, and evicted
+// exactly like a built one. f runs without the registry lock (it does IO)
+// but under the entry's singleflight, so concurrent misses on one key
+// open at most once.
+func (r *Registry) SetOpener(f func(rel *relation.Relation, perm []int) *Trie) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.opener = f
+}
+
+// SetBuildHook registers f to observe every full (non-patched, non-opened)
+// construction the registry performs, after the trie is ready but before
+// waiters are released. A persistent engine uses it to write the freshly
+// built index to disk (write-behind), so the next process can open instead
+// of rebuild. f runs without the registry lock and must not call back into
+// the registry for the same key.
+func (r *Registry) SetBuildHook(f func(rel *relation.Relation, perm []int, t *Trie)) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.buildHook = f
 }
 
 // Observe records a relation version's lineage so later Trie requests
@@ -221,6 +253,7 @@ func (r *Registry) Trie(rel *relation.Relation, perm []int, c *stats.Counters) (
 	r.pushBack(e)
 	r.stats.Builds++
 	lin, patchable := r.lineage[rel]
+	opener, buildHook := r.opener, r.buildHook
 	r.mu.Unlock()
 
 	fail := func(err error) (*Trie, error) {
@@ -234,8 +267,17 @@ func (r *Registry) Trie(rel *relation.Relation, perm []int, c *stats.Counters) (
 	}
 
 	var t *Trie
-	patched := false
-	if patchable {
+	patched, opened := false, false
+	if opener != nil {
+		if ot := opener(rel, perm); ot != nil {
+			t = ot
+			opened = true
+			if c != nil {
+				c.TrieOpens++
+			}
+		}
+	}
+	if t == nil && patchable {
 		// Materialize the base index through the registry itself — a hit
 		// when it is resident, one full (singleflight) build when it is
 		// not, e.g. for a column order first requested after updates
@@ -277,11 +319,17 @@ func (r *Registry) Trie(rel *relation.Relation, perm []int, c *stats.Counters) (
 		if c != nil {
 			c.TrieBuilds++
 		}
+		if buildHook != nil {
+			buildHook(rel, perm, t)
+		}
 	}
 
 	r.mu.Lock()
 	if patched {
 		r.stats.Patches++
+	}
+	if opened {
+		r.stats.Opens++
 	}
 	e.trie = t
 	e.bytes = t.MemoryBytes()

@@ -1,0 +1,189 @@
+package trie
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/relation"
+	"repro/internal/stats"
+)
+
+func snapLevels(t *testing.T, tr *Trie) []LevelData {
+	t.Helper()
+	ls, err := tr.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	return ls
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	rel := relation.MustNew("r", 3, [][]int64{
+		{1, 2, 3}, {1, 2, 5}, {1, 4, 1}, {2, 1, 1}, {2, 1, 2}, {7, 7, 7},
+	})
+	tr := Build(rel, nil)
+	got, err := FromLevels(snapLevels(t, tr))
+	if err != nil {
+		t.Fatalf("FromLevels: %v", err)
+	}
+	if got.Arity() != tr.Arity() {
+		t.Fatalf("arity %d != %d", got.Arity(), tr.Arity())
+	}
+	a, b := snapLevels(t, tr), snapLevels(t, got)
+	for d := range a {
+		if len(a[d].Vals) != len(b[d].Vals) || len(a[d].Start) != len(b[d].Start) {
+			t.Fatalf("level %d shape differs", d)
+		}
+		for i := range a[d].Vals {
+			if a[d].Vals[i] != b[d].Vals[i] {
+				t.Fatalf("level %d val %d differs", d, i)
+			}
+		}
+		for i := range a[d].Start {
+			if a[d].Start[i] != b[d].Start[i] {
+				t.Fatalf("level %d start %d differs", d, i)
+			}
+		}
+	}
+	// The reconstructed trie must behave identically under iteration.
+	var c1, c2 stats.Counters
+	it1, it2 := tr.NewIteratorCounters(&c1), got.NewIteratorCounters(&c2)
+	for _, it := range []*Iterator{it1, it2} {
+		it.Open()
+		it.Open()
+	}
+	for !it1.AtEnd() {
+		if it2.AtEnd() || it1.Key() != it2.Key() {
+			t.Fatal("iteration diverges")
+		}
+		it1.Next()
+		it2.Next()
+	}
+	if !it2.AtEnd() {
+		t.Fatal("reconstructed trie has extra keys")
+	}
+	it1.Flush()
+	it2.Flush()
+	if c1 != c2 {
+		t.Fatalf("accounting diverges: %+v vs %+v", c1, c2)
+	}
+}
+
+func TestSnapshotPatchedRefused(t *testing.T) {
+	base := Build(relation.MustNew("r", 2, [][]int64{{1, 1}, {2, 2}}), nil)
+	adds := relation.MustNew("r", 2, [][]int64{{3, 3}})
+	dels := relation.MustNew("r", 2, nil)
+	patched, err := BuildPatched(base, adds, dels, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := patched.Snapshot(); err == nil {
+		t.Fatal("patched trie snapshotted")
+	}
+}
+
+func TestFromLevelsValidation(t *testing.T) {
+	// A valid two-level trie over {(1,2),(1,3),(2,1)} — note level 1's
+	// values decrease across the sibling boundary, which is legal.
+	valid := func() []LevelData {
+		return []LevelData{
+			{Vals: []int64{1, 2}, Start: []int32{0, 2, 3}},
+			{Vals: []int64{2, 3, 1}, Start: []int32{0, 0, 0, 0}},
+		}
+	}
+	if _, err := FromLevels(valid()); err != nil {
+		t.Fatalf("valid levels refused: %v", err)
+	}
+
+	cases := map[string]func([]LevelData) []LevelData{
+		"empty": func([]LevelData) []LevelData { return nil },
+		"start-length": func(l []LevelData) []LevelData {
+			l[0].Start = l[0].Start[:2]
+			return l
+		},
+		"start-origin": func(l []LevelData) []LevelData {
+			l[0].Start[0] = 1
+			return l
+		},
+		"start-decreasing": func(l []LevelData) []LevelData {
+			l[0].Start[1] = 3
+			l[0].Start[2] = 1
+			return l
+		},
+		"start-tail": func(l []LevelData) []LevelData {
+			l[0].Start[2] = 2
+			return l
+		},
+		"unsorted-root": func(l []LevelData) []LevelData {
+			l[0].Vals[0], l[0].Vals[1] = 2, 1
+			return l
+		},
+		"unsorted-range": func(l []LevelData) []LevelData {
+			l[1].Vals[0], l[1].Vals[1] = 3, 2
+			return l
+		},
+		"duplicate-in-range": func(l []LevelData) []LevelData {
+			l[1].Vals[1] = 2
+			return l
+		},
+	}
+	for name, mutate := range cases {
+		if _, err := FromLevels(mutate(valid())); err == nil {
+			t.Errorf("%s: accepted", name)
+		} else if !strings.HasPrefix(err.Error(), "trie: ") {
+			t.Errorf("%s: unexpected error %v", name, err)
+		}
+	}
+}
+
+func TestRegistryOpenerAndBuildHook(t *testing.T) {
+	rel := relation.MustNew("r", 2, [][]int64{{1, 2}, {2, 1}})
+	perm := []int{0, 1}
+	canned := Build(rel, nil)
+
+	r := NewRegistry(0)
+	opened, built := 0, 0
+	r.SetOpener(func(rq *relation.Relation, p []int) *Trie {
+		if rq == rel && PermSig(p) == PermSig(perm) {
+			opened++
+			return canned
+		}
+		return nil
+	})
+	r.SetBuildHook(func(*relation.Relation, []int, *Trie) { built++ })
+
+	var c stats.Counters
+	got, err := r.Trie(rel, perm, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != canned {
+		t.Fatal("opener's trie not served")
+	}
+	if c.TrieOpens != 1 || c.TrieBuilds != 0 {
+		t.Fatalf("counters: opens=%d builds=%d", c.TrieOpens, c.TrieBuilds)
+	}
+	if built != 0 {
+		t.Fatal("build hook fired for an opened index")
+	}
+	if s := r.Stats(); s.Opens != 1 || s.Builds != 1 {
+		t.Fatalf("registry stats: %+v", s)
+	}
+
+	// A hit does not consult the opener again.
+	if _, err := r.Trie(rel, perm, &c); err != nil {
+		t.Fatal(err)
+	}
+	if opened != 1 || c.TrieOpens != 1 {
+		t.Fatalf("opener consulted on a hit (opened=%d)", opened)
+	}
+
+	// The reverse order misses the opener and falls through to a full
+	// build, which fires the write-behind hook.
+	if _, err := r.Trie(rel, []int{1, 0}, &c); err != nil {
+		t.Fatal(err)
+	}
+	if c.TrieBuilds != 1 || built != 1 {
+		t.Fatalf("fallback build: builds=%d hook=%d", c.TrieBuilds, built)
+	}
+}

@@ -1,0 +1,70 @@
+#!/usr/bin/env bash
+# Warm-restart smoke test: boot the daemon cold over a data directory,
+# apply an update, query, restart over the same directory, and verify
+# the warm daemon (a) preserved the update and (b) answered its first
+# query with zero trie builds — the indices came back from disk, not
+# reconstruction. Run by CI on every push; usable locally:
+#
+#   ./scripts/warm_restart_smoke.sh [datadir]
+set -euo pipefail
+
+DATADIR=${1:-$(mktemp -d)}
+ADDR=127.0.0.1:8379
+BASE="http://$ADDR"
+QUERY='{"query": "E(x,y), E(y,z), E(z,x)"}'
+
+go build -o /tmp/cltjd-smoke ./cmd/cltjd
+
+wait_up() {
+  for _ in $(seq 1 50); do
+    if curl -sf "$BASE/healthz" >/dev/null 2>&1; then return 0; fi
+    sleep 0.1
+  done
+  echo "daemon did not come up" >&2
+  return 1
+}
+
+stop_daemon() {
+  kill -TERM "$1" 2>/dev/null || true
+  wait "$1" 2>/dev/null || true
+}
+
+# --- cold boot: persist the built-in sample dataset, update, query ---
+/tmp/cltjd-smoke -addr "$ADDR" -data-dir "$DATADIR" &
+PID=$!
+trap 'stop_daemon $PID' EXIT
+wait_up
+
+curl -sf "$BASE/update" -d '{"relation": "E", "inserts": [[7001, 7002]]}' >/dev/null
+COLD_COUNT=$(curl -sf "$BASE/query" -d "$QUERY" | python3 -c 'import json,sys; print(json.load(sys.stdin)["count"])')
+stop_daemon $PID
+
+# --- warm boot: same directory, no dataset flags ---
+/tmp/cltjd-smoke -addr "$ADDR" -data-dir "$DATADIR" &
+PID=$!
+wait_up
+
+FIRST=$(curl -sf "$BASE/query" -d "$QUERY")
+WARM_COUNT=$(printf '%s' "$FIRST" | python3 -c 'import json,sys; print(json.load(sys.stdin)["count"])')
+BUILDS=$(printf '%s' "$FIRST" | python3 -c 'import json,sys; print(json.load(sys.stdin)["stats"]["counters"]["TrieBuilds"])')
+STATS=$(curl -sf "$BASE/stats")
+LIFETIME_BUILDS=$(printf '%s' "$STATS" | python3 -c 'import json,sys; print(json.load(sys.stdin)["lifetime"]["TrieBuilds"])')
+WAL_REPLAYED=$(printf '%s' "$STATS" | python3 -c 'import json,sys; print(json.load(sys.stdin)["persistence"]["wal_replayed"])')
+stop_daemon $PID
+trap - EXIT
+
+echo "cold count=$COLD_COUNT warm count=$WARM_COUNT first-query builds=$BUILDS lifetime builds=$LIFETIME_BUILDS wal replayed=$WAL_REPLAYED"
+
+if [ "$COLD_COUNT" != "$WARM_COUNT" ]; then
+  echo "FAIL: warm count $WARM_COUNT != cold count $COLD_COUNT (update lost across restart)" >&2
+  exit 1
+fi
+if [ "$BUILDS" != "0" ] || [ "$LIFETIME_BUILDS" != "0" ]; then
+  echo "FAIL: warm daemon built tries (first query $BUILDS, lifetime $LIFETIME_BUILDS); expected mmap opens only" >&2
+  exit 1
+fi
+if [ "$WAL_REPLAYED" = "0" ]; then
+  echo "FAIL: warm boot replayed no WAL records; the update should be in the log" >&2
+  exit 1
+fi
+echo "PASS: warm restart served the updated dataset with zero trie builds"
