@@ -45,6 +45,7 @@ func BenchmarkE12Service(b *testing.B)       { benchExperiment(b, bench.ServiceT
 func BenchmarkE13Updates(b *testing.B)       { benchExperiment(b, bench.IncrementalUpdates) }
 func BenchmarkE14Prepared(b *testing.B)      { benchExperiment(b, bench.PreparedStatements) }
 func BenchmarkE15Micro(b *testing.B)         { benchExperiment(b, bench.HotPath) }
+func BenchmarkE17Planner(b *testing.B)       { benchExperiment(b, bench.Planner) }
 func BenchmarkE18Stream(b *testing.B)        { benchExperiment(b, bench.StreamThroughput) }
 func BenchmarkE19Persist(b *testing.B)       { benchExperiment(b, bench.PersistentRestart) }
 

@@ -99,6 +99,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	cacheFlag := fs.Int("cache", 0, "CLFTJ cache capacity (0 = unbounded)")
 	supportFlag := fs.Int("support", 0, "CLFTJ support threshold")
 	workersFlag := fs.Int("workers", 1, "worker goroutines for clftj and for lftj counting (0 = one per core, 1 = sequential); other algorithms ignore it; -eval with workers > 1 materializes the full result before printing")
+	ordererFlag := fs.String("orderer", "", "planning strategy for clftj and the resident modes: cost (default; full cost model), greedy (stats-free pattern ranking) or adaptive (greedy + feedback-driven re-planning of cached plans)")
 	batchFlag := fs.Int("batch-size", 0, "block size for batched clftj execution: advance the deepest trie level in blocks of up to this many keys (0 = scalar loops); results, order and completed-run statistics are identical to scalar")
 	timeoutFlag := fs.Duration("timeout", 0, "wall-clock budget covering planning, index build and the join (clftj and lftj; 0 = unlimited): past it the run unwinds cooperatively and cltj exits nonzero")
 	symFlag := fs.Bool("symmetric", false, "treat edges as undirected (add both directions)")
@@ -115,6 +116,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fail := func(err error) int {
 		fmt.Fprintln(stderr, "cltj:", err)
 		return 1
+	}
+	if !core.Orderer(*ordererFlag).Valid() {
+		return fail(fmt.Errorf("unknown -orderer %q (want cost, greedy or adaptive)", *ordererFlag))
 	}
 	if *cpuProfileFlag != "" {
 		pf, err := os.Create(*cpuProfileFlag)
@@ -190,7 +194,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Errorf("-timeout applies to single-query runs; in -serve/-queries modes set timeout_ms per request"))
 	}
 	if *serveFlag != "" || *queriesFlag != "" {
-		cfg := server.Config{Workers: engineWorkers, TrieBudget: *budgetFlag, BatchSize: *batchFlag, DataDir: *dataDirFlag}
+		cfg := server.Config{Workers: engineWorkers, TrieBudget: *budgetFlag, BatchSize: *batchFlag, DataDir: *dataDirFlag, Orderer: *ordererFlag}
 		engine, err := openEngine(db, cfg, rels, *dataFlag, *symFlag, stdout)
 		if err != nil {
 			return fail(err)
@@ -238,7 +242,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	var count int64
 	switch *algoFlag {
 	case "clftj":
-		plan, err := core.AutoPlan(q, db, core.AutoOptions{Counters: &c})
+		plan, err := core.AutoPlan(q, db, core.AutoOptions{Counters: &c, Orderer: core.Orderer(*ordererFlag)})
 		if err != nil {
 			return fail(err)
 		}

@@ -23,6 +23,7 @@
 //	cltjd [-addr :8372] [-data graph.txt | -rel R=path ...] [-symmetric]
 //	      [-data-dir DIR] [-workers K] [-stream-workers K] [-batch-size N]
 //	      [-trie-budget BYTES] [-max-tuples N]
+//	      [-orderer cost|greedy|adaptive] [-adapt-threshold F] [-adapt-runs K]
 //	      [-compact-fraction F] [-plan-cache N] [-max-prepared N] [-drain DUR]
 //
 // Endpoints (see internal/server for the wire format):
@@ -61,6 +62,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/relation"
 	"repro/internal/server"
@@ -88,10 +90,16 @@ func main() {
 	maxTuples := flag.Int("max-tuples", server.DefaultMaxTuples, "default cap on tuples returned by eval responses")
 	compactFlag := flag.Float64("compact-fraction", 0, "patch-vs-rebuild crossover as a fraction of the base relation size (0 = default)")
 	planCacheFlag := flag.Int("plan-cache", 0, "compiled-plan cache capacity in entries (0 = default, negative = disabled)")
+	ordererFlag := flag.String("orderer", "", "default planning strategy: cost (default; full cost model), greedy (stats-free pattern ranking) or adaptive (greedy + feedback-driven re-planning)")
+	adaptThresholdFlag := flag.Float64("adapt-threshold", 0, "adaptive orderer: relative trie-traffic divergence from a cached plan's baseline that counts as divergent (0 = default 0.5)")
+	adaptRunsFlag := flag.Int("adapt-runs", 0, "adaptive orderer: consecutive divergent executions that trigger a re-plan (0 = default 3)")
 	maxPreparedFlag := flag.Int("max-prepared", 0, "prepared-statement registry cap (0 = default)")
 	dataDirFlag := flag.String("data-dir", "", "persistent data directory: snapshots + write-ahead logs + trie index files; a populated directory boots warm (dataset flags are ignored) and updates become durable")
 	drainFlag := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
 	flag.Parse()
+	if !core.Orderer(*ordererFlag).Valid() {
+		log.Fatalf("cltjd: unknown -orderer %q (want cost, greedy or adaptive)", *ordererFlag)
+	}
 
 	engine, warm, err := server.OpenEngine(server.Config{
 		Workers:         *workersFlag,
@@ -101,6 +109,9 @@ func main() {
 		MaxTuples:       *maxTuples,
 		CompactFraction: *compactFlag,
 		PlanCache:       *planCacheFlag,
+		Orderer:         *ordererFlag,
+		AdaptThreshold:  *adaptThresholdFlag,
+		AdaptRuns:       *adaptRunsFlag,
 		MaxPrepared:     *maxPreparedFlag,
 		DataDir:         *dataDirFlag,
 	}, func() (*relation.DB, error) {

@@ -223,6 +223,7 @@ func Experiments() []Experiment {
 		{"E13 (updates)", IncrementalUpdates},
 		{"E14 (prepared)", PreparedStatements},
 		{"E15 (hot path)", HotPath},
+		{"E17 (planner)", Planner},
 		{"E18 (streaming)", StreamThroughput},
 		{"E19 (persistence)", PersistentRestart},
 	}

@@ -11,12 +11,56 @@ import (
 	"repro/internal/trie"
 )
 
+// Orderer names a planning strategy for AutoPlan: how the tree
+// decomposition and its strongly compatible variable order are chosen.
+// The planner taxonomy and the exact ranking rules are normative in
+// docs/PLANNING.md.
+type Orderer string
+
+const (
+	// OrdererCost is the default data-dependent strategy: score TD
+	// candidates with the full heuristic cost model (adhesion dimension,
+	// bag count, depth, data skew, estimated order cost — the expensive
+	// term, one probe trie set per candidate).
+	OrdererCost Orderer = "cost"
+	// OrdererGreedy is the stats-free strategy: rank variables by
+	// constant-specialized atoms, then shared-variable connectivity
+	// (td.GreedyOrder) and select a TD by structural terms plus ranking
+	// agreement — O(vars·atoms) planning, no index ever touched.
+	OrdererGreedy Orderer = "greedy"
+	// OrdererAdaptive plans like OrdererGreedy; engines layered above
+	// (package server) additionally observe executions of the cached
+	// plan and re-plan with demoted variables when the observed trie
+	// traffic diverges from the estimate. At this layer it differs from
+	// OrdererGreedy only in honoring AutoOptions.Demote.
+	OrdererAdaptive Orderer = "adaptive"
+)
+
+// Valid reports whether o names a known strategy ("" counts: it means
+// OrdererCost).
+func (o Orderer) Valid() bool {
+	switch o {
+	case "", OrdererCost, OrdererGreedy, OrdererAdaptive:
+		return true
+	}
+	return false
+}
+
 // AutoOptions configures automatic plan selection.
 type AutoOptions struct {
 	// TD controls the decomposition enumeration (zero value: defaults).
 	TD td.Options
 	// Cost overrides the TD cost weights (zero value: defaults).
 	Cost td.CostConfig
+	// Orderer selects the planning strategy ("" = OrdererCost). Greedy
+	// and adaptive skip the entire cost model — skew probes and
+	// order-cost trie builds included — so SkipOrderCost/SkipSkew are
+	// irrelevant under them.
+	Orderer Orderer
+	// Demote lists variable names pushed to the back of the greedy
+	// ranking (execution feedback from always-empty intersection levels;
+	// see AlwaysEmptyLevels). Ignored under OrdererCost.
+	Demote []string
 	// SkipOrderCost disables the Chu-et-al.-style order-cost term, which
 	// requires building one trie set per candidate decomposition.
 	SkipOrderCost bool
@@ -36,16 +80,47 @@ type AutoOptions struct {
 	BuildWorkers int
 }
 
-// AutoPlan selects a tree decomposition for q following §4: enumerate
-// decompositions biased toward small adhesions, score them with the
-// heuristic cost model (adhesion dimension, bag count, depth, data skew,
-// estimated order cost) and compile the best one with its strongly
-// compatible variable order.
+// AutoPlan selects a tree decomposition and strongly compatible variable
+// order for q (AutoSelect) and compiles them. Under the default
+// OrdererCost selection follows §4: enumerate decompositions biased
+// toward small adhesions, score them with the heuristic cost model
+// (adhesion dimension, bag count, depth, data skew, estimated order
+// cost) and compile the best. Under OrdererGreedy/OrdererAdaptive it
+// ranks variables from the query pattern alone (td.SelectGreedy) —
+// planning touches no data, which is the point: the E17 benchmark pits
+// the two planning costs against each other.
 func AutoPlan(q *cq.Query, db *relation.DB, opts AutoOptions) (*Plan, error) {
-	if err := q.Validate(); err != nil {
+	tree, order, err := AutoSelect(q, db, opts)
+	if err != nil {
 		return nil, err
 	}
+	return newPlan(q, db, tree, order, leapfrog.BuildOpts{
+		Counters: opts.Counters,
+		Tries:    opts.Tries,
+		Workers:  opts.BuildWorkers,
+	})
+}
+
+// AutoSelect is the planning stage of AutoPlan alone: it returns the
+// tree decomposition and strongly compatible variable order AutoPlan
+// would compile, without building the plan (no final-plan trie work).
+// Under OrdererCost the order-cost probes still touch data — and still
+// charge shared-source builds to opts.Counters — because they ARE
+// planning; under OrdererGreedy/OrdererAdaptive no index is ever
+// opened. The E17 benchmark times exactly this function per strategy.
+func AutoSelect(q *cq.Query, db *relation.DB, opts AutoOptions) (*td.TD, []string, error) {
+	if err := q.Validate(); err != nil {
+		return nil, nil, err
+	}
 	qvars := q.Vars()
+	if opts.Orderer == OrdererGreedy || opts.Orderer == OrdererAdaptive {
+		tree, orderIdx := td.SelectGreedy(q, opts.TD, td.GreedyConfig{Demote: opts.Demote})
+		order := make([]string, len(orderIdx))
+		for d, xi := range orderIdx {
+			order[d] = qvars[xi]
+		}
+		return tree, order, nil
+	}
 	cfg := opts.Cost
 	if cfg.AdhesionBase == 0 {
 		cfg = td.DefaultCostConfig(len(qvars))
@@ -85,11 +160,7 @@ func AutoPlan(q *cq.Query, db *relation.DB, opts AutoOptions) (*Plan, error) {
 	for d, xi := range orderIdx {
 		order[d] = qvars[xi]
 	}
-	return newPlan(q, db, tree, order, leapfrog.BuildOpts{
-		Counters: opts.Counters,
-		Tries:    opts.Tries,
-		Workers:  opts.BuildWorkers,
-	})
+	return tree, order, nil
 }
 
 // chargedSource redirects a trie source's accounting to a fixed sink:

@@ -13,6 +13,10 @@ type CountResult struct {
 	// CachedEntries is the number of intermediate results resident in the
 	// caches at the end of the run.
 	CachedEntries int
+	// Levels holds the per-depth intersection tallies (merged across
+	// workers in parallel runs); see AlwaysEmptyLevels for the re-plan
+	// feedback they carry. Empty on cancelled runs.
+	Levels []LevelStat
 }
 
 // Count runs CachedTJCount (Fig. 2) over the plan under the given policy
@@ -46,11 +50,12 @@ func (p *Plan) CountCtx(ctx context.Context, policy Policy) (CountResult, error)
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0, 1)
+	levels := mergeLevels(nil, e.run)
 	e.run.Release()
 	if err := e.cancel.Err(); err != nil {
 		return CountResult{}, err
 	}
-	return CountResult{Count: e.total, CachedEntries: e.cm.Entries()}, nil
+	return CountResult{Count: e.total, CachedEntries: e.cm.Entries(), Levels: levels}, nil
 }
 
 type countExec struct {

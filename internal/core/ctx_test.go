@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"errors"
+	"reflect"
 	"testing"
 	"time"
 
@@ -45,7 +46,7 @@ func TestCountCtxBackgroundMatchesCount(t *testing.T) {
 	want := plan.Count(Policy{})
 
 	got, err := plan.CountCtx(ctx, Policy{})
-	if err != nil || got != want {
+	if err != nil || !reflect.DeepEqual(got, want) {
 		t.Fatalf("CountCtx = %+v, %v; want %+v", got, err, want)
 	}
 	gotPar, err := plan.CountParallelCtx(ctx, Policy{Workers: 4})

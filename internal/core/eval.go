@@ -15,6 +15,10 @@ type EvalResult struct {
 	// CachedEntries is the number of factorized entries resident in the
 	// caches at the end of the run.
 	CachedEntries int
+	// Levels holds the per-depth intersection tallies (merged across
+	// workers in parallel runs); see AlwaysEmptyLevels for the re-plan
+	// feedback they carry. Empty on cancelled runs.
+	Levels []LevelStat
 }
 
 // Eval runs the evaluation variant of CachedTJCount (§3.4): the ordinary
@@ -56,11 +60,12 @@ func (p *Plan) EvalCtx(ctx context.Context, policy Policy, emit func(mu []int64)
 	}
 	e.mu = e.run.Assignment()
 	e.rjoin(0)
+	levels := mergeLevels(nil, e.run)
 	e.run.Release()
 	if err := e.cancel.Err(); err != nil {
 		return EvalResult{Emitted: e.emitted}, err
 	}
-	return EvalResult{Emitted: e.emitted, CachedEntries: e.cm.Entries()}, nil
+	return EvalResult{Emitted: e.emitted, CachedEntries: e.cm.Entries(), Levels: levels}, nil
 }
 
 // EvalTuples materializes the result in order-variable order; intended

@@ -70,6 +70,7 @@ func (p *Plan) CountParallelCtx(ctx context.Context, policy Policy) (CountResult
 	}
 	totals := make([]int64, workers)
 	entries := make([]int, workers)
+	wlevels := make([][]LevelStat, workers)
 	p.runShards(workers, func(w int, wc *stats.Counters) {
 		e := &countExec{
 			plan:   p,
@@ -81,6 +82,7 @@ func (p *Plan) CountParallelCtx(ctx context.Context, policy Policy) (CountResult
 		}
 		e.mu = e.run.Assignment()
 		e.shardScan(keys, w, workers)
+		wlevels[w] = mergeLevels(nil, e.run)
 		e.run.Release()
 		totals[w] = e.total
 		entries[w] = e.cm.Entries()
@@ -92,6 +94,7 @@ func (p *Plan) CountParallelCtx(ctx context.Context, policy Policy) (CountResult
 	for w := range totals {
 		res.Count += totals[w]
 		res.CachedEntries += entries[w]
+		res.Levels = sumLevels(res.Levels, wlevels[w])
 	}
 	return res, nil
 }
@@ -252,6 +255,7 @@ func (p *Plan) EvalParallelCtx(ctx context.Context, policy Policy, emit func(mu 
 	// shards own disjoint index sets, so no locking is needed.
 	buckets := make([][][]int64, len(keys))
 	entries := make([]int, workers)
+	wlevels := make([][]LevelStat, workers)
 	p.runShards(workers, func(w int, wc *stats.Counters) {
 		e := &evalExec{
 			plan:    p,
@@ -272,6 +276,7 @@ func (p *Plan) EvalParallelCtx(ctx context.Context, policy Policy, emit func(mu 
 		}
 		e.mu = e.run.Assignment()
 		e.shardScan(keys, w, workers, func(i int) { cur = i })
+		wlevels[w] = mergeLevels(nil, e.run)
 		e.run.Release()
 		entries[w] = e.cm.Entries()
 	})
@@ -279,8 +284,9 @@ func (p *Plan) EvalParallelCtx(ctx context.Context, policy Policy, emit func(mu 
 		return EvalResult{}, err
 	}
 	var res EvalResult
-	for _, n := range entries {
+	for w, n := range entries {
 		res.CachedEntries += n
+		res.Levels = sumLevels(res.Levels, wlevels[w])
 	}
 	for _, bucket := range buckets {
 		for _, tup := range bucket {

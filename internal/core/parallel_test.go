@@ -214,7 +214,7 @@ func TestParallelWorkersOneIsSequential(t *testing.T) {
 
 	c.Reset()
 	par := plan.CountParallel(Policy{Workers: 1})
-	if par != seq {
+	if !reflect.DeepEqual(par, seq) {
 		t.Fatalf("CountParallel(Workers:1) = %+v, sequential = %+v", par, seq)
 	}
 	if c != seqCtrs {

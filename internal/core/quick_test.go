@@ -2,6 +2,7 @@ package core
 
 import (
 	"math/rand"
+	"reflect"
 	"sort"
 	"testing"
 
@@ -169,7 +170,7 @@ func TestCountDeterministic(t *testing.T) {
 	first := plan.Count(Policy{Capacity: 16})
 	for i := 0; i < 3; i++ {
 		again := plan.Count(Policy{Capacity: 16})
-		if again != first {
+		if !reflect.DeepEqual(again, first) {
 			t.Fatalf("run %d differs: %+v vs %+v", i, again, first)
 		}
 	}

@@ -19,6 +19,16 @@ type Runner struct {
 	mu     []int64         // current partial assignment, by depth
 	cancel *Canceler       // cooperative cancellation; nil never cancels
 	c      *stats.Counters // the sink the iterators are bound to
+
+	// attempts[d] counts OpenDepth entries at depth d; empties[d] counts
+	// those whose k-way intersection held no value at all (Frog.Init
+	// found no match). An "always empty" level (attempts > 0 and
+	// empties == attempts) is the early-termination feedback signal: the
+	// variable at that depth never extended any assignment, so an
+	// adaptive re-plan can demote it (see td.GreedyConfig.Demote). Both
+	// reset when a pooled runner is rebound.
+	attempts []int64
+	empties  []int64
 }
 
 // NewRunner prepares iterators and per-depth frogs for one execution
@@ -57,15 +67,21 @@ func NewRunnerCounters(inst *Instance, c *stats.Counters) *Runner {
 				ls[j] = r.iters[li]
 			}
 		}
+		for d := range r.attempts {
+			r.attempts[d] = 0
+			r.empties[d] = 0
+		}
 		return r
 	}
 	r := &Runner{
-		inst:  inst,
-		iters: make([]*trie.Iterator, len(inst.atoms)),
-		frogs: make([]*Frog, inst.NumVars()),
-		legs:  make([][]*trie.Iterator, inst.NumVars()),
-		mu:    make([]int64, inst.NumVars()),
-		c:     c,
+		inst:     inst,
+		iters:    make([]*trie.Iterator, len(inst.atoms)),
+		frogs:    make([]*Frog, inst.NumVars()),
+		legs:     make([][]*trie.Iterator, inst.NumVars()),
+		mu:       make([]int64, inst.NumVars()),
+		attempts: make([]int64, inst.NumVars()),
+		empties:  make([]int64, inst.NumVars()),
+		c:        c,
 	}
 	for i, leg := range inst.atoms {
 		r.iters[i] = leg.Trie.NewIteratorCounters(c)
@@ -110,13 +126,29 @@ func (r *Runner) Assignment() []int64 { return r.mu }
 
 // OpenDepth opens all legs of depth d (descends each participating atom
 // iterator into the level of variable order[d]) and returns the frog,
-// initialized. Callers must balance with CloseDepth.
+// initialized. Callers must balance with CloseDepth. Each call is tallied
+// in the per-depth level stats (see LevelStats); a false return means the
+// intersection at d is empty under the current prefix.
 func (r *Runner) OpenDepth(d int) (*Frog, bool) {
 	for _, it := range r.legs[d] {
 		it.Open()
 	}
 	f := r.frogs[d]
-	return f, f.Init()
+	ok := f.Init()
+	r.attempts[d]++
+	if !ok {
+		r.empties[d]++
+	}
+	return f, ok
+}
+
+// LevelStats returns this runner's per-depth intersection tallies:
+// attempts[d] OpenDepth entries at depth d, of which empties[d] found an
+// empty intersection. Both slices are the runner's internal state — valid
+// until Release, then reused; callers retaining them must copy. Depths the
+// run never reached report zero attempts.
+func (r *Runner) LevelStats() (attempts, empties []int64) {
+	return r.attempts, r.empties
 }
 
 // CloseDepth ascends all legs of depth d.

@@ -76,6 +76,19 @@ type Config struct {
 	// small) outside the TrieBudget accounting — lower PlanCache to
 	// bound that retention on constant-heavy workloads.
 	PlanCache int
+	// Orderer selects the default planning strategy for requests that do
+	// not name their own: "cost" (or empty — the full cost model),
+	// "greedy" (stats-free pattern ranking) or "adaptive" (greedy plus
+	// feedback-driven re-planning of cached plans). See core.Orderer and
+	// docs/PLANNING.md.
+	Orderer string
+	// AdaptThreshold is the relative divergence of a cached plan's
+	// observed trie accesses from its baseline execution that counts as
+	// divergent under the adaptive orderer (0: DefaultAdaptThreshold).
+	AdaptThreshold float64
+	// AdaptRuns is the number of consecutive divergent executions that
+	// trigger an adaptive re-plan (0: DefaultAdaptRuns).
+	AdaptRuns int
 	// MaxPrepared caps the prepared-statement registry (0:
 	// DefaultMaxPrepared). Prepare fails once the cap is reached —
 	// statements are explicit handles a client must Close, so the
@@ -459,6 +472,12 @@ type Request struct {
 	// rivals their execution time. Plan-affecting: keyed into the plan
 	// cache, so the cheap and thorough plans of one query coexist.
 	NoOrderCost bool `json:"no_order_cost,omitempty"`
+	// Orderer overrides the engine's default planning strategy for this
+	// query: "cost", "greedy" or "adaptive" ("" keeps the engine
+	// default; see Config.Orderer). Plan-affecting: the resolved value
+	// is part of the plan-cache key, so one query's cost and greedy
+	// plans coexist.
+	Orderer string `json:"orderer,omitempty"`
 	// Stmt executes a prepared statement by id (see Engine.Prepare and
 	// POST /prepare) instead of parsing Query, which must then be
 	// empty. Non-zero execution fields override the statement's
@@ -779,6 +798,32 @@ func (e *Engine) policyOf(req Request) (core.Policy, error) {
 	return pol, nil
 }
 
+// ordererOf resolves a request's planning strategy: the request's
+// override if set, else the engine default, validated.
+func (e *Engine) ordererOf(req Request) (core.Orderer, error) {
+	o := core.Orderer(req.Orderer)
+	if o == "" {
+		o = core.Orderer(e.cfg.Orderer)
+	}
+	if !o.Valid() {
+		return "", fmt.Errorf("server: unknown orderer %q (want cost, greedy or adaptive)", o)
+	}
+	return o, nil
+}
+
+// adaptParams resolves the adaptive feedback thresholds from the config.
+func (e *Engine) adaptParams() (threshold float64, runs int) {
+	threshold = e.cfg.AdaptThreshold
+	if threshold == 0 {
+		threshold = DefaultAdaptThreshold
+	}
+	runs = e.cfg.AdaptRuns
+	if runs == 0 {
+		runs = DefaultAdaptRuns
+	}
+	return threshold, runs
+}
+
 // tries returns the shared source for plan compilation (nil when reuse
 // is disabled; leapfrog then builds per-query tries).
 func (e *Engine) tries() leapfrog.TrieSource {
@@ -843,23 +888,30 @@ func relNames(q *cq.Query) []string {
 // planFor resolves the compiled plan for one execution: a plan-cache
 // hit returns the resident plan rebound to the request's counters, a
 // miss compiles (charging the compile — including any shared trie
-// builds — to the requester) and caches the plan with a nil sink.
-func (e *Engine) planFor(q *cq.Query, text string, names []string, vec string, db *relation.DB, req Request, c *stats.Counters) (*core.Plan, bool, error) {
-	key := planKey{text: text, opts: planOptsKey(req), vers: vec}
+// builds — to the requester) and caches the plan with a nil sink. The
+// returned key identifies the entry (the adaptive loop observes into
+// it); cached reports which path was taken.
+func (e *Engine) planFor(q *cq.Query, text string, names []string, vec string, db *relation.DB, req Request, c *stats.Counters) (plan *core.Plan, key planKey, cached bool, err error) {
+	ord, err := e.ordererOf(req)
+	if err != nil {
+		return nil, planKey{}, false, err
+	}
+	key = planKey{text: text, opts: planOptsKey(req, ord), vers: vec}
 	if p, ok := e.plans.get(key); ok {
-		return p.WithCounters(c), true, nil
+		return p.WithCounters(c), key, true, nil
 	}
 	p, err := core.AutoPlan(q, db, core.AutoOptions{
 		Counters:      c,
 		Tries:         e.tries(),
+		Orderer:       ord,
 		SkipOrderCost: req.NoOrderCost,
 		BuildWorkers:  e.buildWorkers(),
 	})
 	if err != nil {
-		return nil, false, err
+		return nil, planKey{}, false, err
 	}
-	e.plans.put(key, p.WithCounters(nil), names, p.Embedded())
-	return p, false, nil
+	e.plans.put(key, p.WithCounters(nil), names, p.Embedded(), p.Instance().EstimateOrderCost())
+	return p, key, false, nil
 }
 
 // exec runs one parsed request end to end: resolve policy and deadline,
@@ -888,12 +940,16 @@ func (e *Engine) exec(ctx context.Context, q *cq.Query, text string, names []str
 	// completed requests.
 	var c stats.Counters
 	defer func() { e.life.Merge(&c) }()
-	plan, cached, err := e.planFor(q, text, names, vec, db, req, &c)
+	plan, key, cached, err := e.planFor(q, text, names, vec, db, req, &c)
 	if err != nil {
 		return nil, err
 	}
 	resp := &Response{Order: plan.Order()}
 	resp.Stats.PlanCached = cached
+
+	// levels collects the per-depth intersection tallies of count/eval
+	// executions — the adaptive orderer's early-termination feedback.
+	var levels []core.LevelStat
 
 	switch req.Mode {
 	case "", "count":
@@ -904,6 +960,7 @@ func (e *Engine) exec(ctx context.Context, q *cq.Query, text string, names []str
 		}
 		resp.Count = res.Count
 		resp.Stats.CachedEntries = res.CachedEntries
+		levels = res.Levels
 
 	case "eval":
 		resp.Mode = "eval"
@@ -927,6 +984,7 @@ func (e *Engine) exec(ctx context.Context, q *cq.Query, text string, names []str
 			return nil, err
 		}
 		resp.Stats.CachedEntries = res.CachedEntries
+		levels = res.Levels
 
 	case "aggregate":
 		resp.Mode = "aggregate"
@@ -958,8 +1016,49 @@ func (e *Engine) exec(ctx context.Context, q *cq.Query, text string, names []str
 		return nil, fmt.Errorf("server: unknown mode %q (want count, eval or aggregate)", req.Mode)
 	}
 
+	// Close the adaptive loop: cache-hit executions under the adaptive
+	// orderer feed their observed traffic back into the entry; persistent
+	// divergence re-plans against the still-pinned snapshot and swaps the
+	// entry in place. The snapshot pin (finish is deferred) makes the
+	// recompile race-free against updates: it compiles exactly the
+	// versions this execution read, and if an update superseded them
+	// meanwhile the entry is already unreachable and replace drops the
+	// swap.
+	if ord, _ := e.ordererOf(req); ord == core.OrdererAdaptive && cached {
+		e.adapt(q, key, names, db, plan, levels, c.TrieAccesses, &c)
+	}
+
 	resp.Stats.DurationMS = float64(time.Since(start).Microseconds()) / 1000
 	resp.Stats.Counters = c
 	e.queries.Add(1)
 	return resp, nil
+}
+
+// adapt is one step of the feedback loop (see exec): observe a cache-hit
+// execution's trie traffic, and when the cache signals persistent
+// divergence, recompile with the accumulated demote set and swap the
+// entry. The recompile is charged to the triggering request's counters —
+// it is work this request decided to do.
+func (e *Engine) adapt(q *cq.Query, key planKey, names []string, db *relation.DB, plan *core.Plan, levels []core.LevelStat, observed int64, c *stats.Counters) {
+	order := plan.Order()
+	var emptyVars []string
+	for _, d := range core.AlwaysEmptyLevels(levels) {
+		emptyVars = append(emptyVars, order[d])
+	}
+	threshold, runs := e.adaptParams()
+	demote, replan := e.plans.observe(key, observed, emptyVars, threshold, runs)
+	if !replan {
+		return
+	}
+	p, err := core.AutoPlan(q, db, core.AutoOptions{
+		Counters:     c,
+		Tries:        e.tries(),
+		Orderer:      core.OrdererAdaptive,
+		Demote:       demote,
+		BuildWorkers: e.buildWorkers(),
+	})
+	if err != nil {
+		return // keep serving the incumbent plan
+	}
+	e.plans.replace(key, p.WithCounters(nil), names, p.Embedded(), p.Instance().EstimateOrderCost())
 }

@@ -36,12 +36,61 @@ type planKey struct {
 	vers string
 }
 
-// planOptsKey canonicalizes the plan-affecting options of a request.
-func planOptsKey(req Request) string {
+// planOptsKey canonicalizes the plan-affecting options of a request:
+// the resolved orderer and whether order-cost probing was skipped
+// (docs/PLANNING.md enumerates which options are plan-affecting and
+// why). ord must be the resolved strategy, request overlaid on engine
+// default, so one query's cost and greedy plans coexist as distinct
+// entries while requests spelling the default explicitly share the
+// default's entry.
+func planOptsKey(req Request, ord core.Orderer) string {
+	var parts []string
 	if req.NoOrderCost {
-		return "noc"
+		parts = append(parts, "noc")
 	}
-	return ""
+	if ord != "" && ord != core.OrdererCost {
+		parts = append(parts, "ord="+string(ord))
+	}
+	return strings.Join(parts, ",")
+}
+
+// DefaultAdaptThreshold is the relative divergence of observed trie
+// accesses from a cached plan's baseline that counts as divergent when
+// the config does not name one: 0.5 means an execution touching the
+// index 50% more (or less) than the entry's baseline execution.
+const DefaultAdaptThreshold = 0.5
+
+// DefaultAdaptRuns is the number of consecutive divergent cache-hit
+// executions that trigger a re-plan when the config does not name one.
+const DefaultAdaptRuns = 3
+
+// adaptMaxReplans caps the re-plans one cache entry may trigger over
+// its lifetime, so a workload that genuinely alternates between two
+// traffic regimes cannot make the engine recompile forever.
+const adaptMaxReplans = 3
+
+// adaptiveState is the feedback record of one cached plan under the
+// adaptive orderer. All fields are guarded by planCache.mu.
+type adaptiveState struct {
+	// predicted is the orderer's implicit traffic prediction at compile
+	// time — Instance.EstimateOrderCost, in estimated prefix visits. It
+	// is recorded for observability (not compared against observations
+	// directly: its units are estimates, not accesses).
+	predicted float64
+	// baseline is the first observed stats.Counters.TrieAccesses of a
+	// cache-hit execution (0: not yet observed). Divergence is measured
+	// relative to it; a re-plan clears it so the swapped plan
+	// re-baselines.
+	baseline int64
+	// divergent counts consecutive cache-hit executions beyond the
+	// threshold; any conforming execution resets it.
+	divergent int
+	// demote accumulates the variables of always-empty intersection
+	// levels seen during divergent executions — the divergence-informed
+	// order hint handed to the re-plan.
+	demote []string
+	// replans counts re-plans already performed for this entry.
+	replans int
 }
 
 // versionVector renders the version sub-vector for the given sorted
@@ -80,6 +129,11 @@ type PlanCacheStats struct {
 	// drop releases the trie indices the stale plans pinned).
 	Evictions     int64 `json:"evictions"`
 	Invalidations int64 `json:"invalidations"`
+	// Replans counts adaptive re-plans: cached plans recompiled with a
+	// divergence-informed order and swapped in place after observed trie
+	// traffic diverged from the entry's baseline for
+	// Config.AdaptRuns consecutive executions.
+	Replans int64 `json:"replans"`
 	// Size and Capacity describe the current residency (Capacity 0:
 	// the cache is disabled).
 	Size     int `json:"size"`
@@ -88,8 +142,8 @@ type PlanCacheStats struct {
 
 // String renders the stats as a one-line summary for logs and CLIs.
 func (s PlanCacheStats) String() string {
-	return fmt.Sprintf("size=%d capacity=%d hits=%d misses=%d evictions=%d invalidations=%d",
-		s.Size, s.Capacity, s.Hits, s.Misses, s.Evictions, s.Invalidations)
+	return fmt.Sprintf("size=%d capacity=%d hits=%d misses=%d evictions=%d invalidations=%d replans=%d",
+		s.Size, s.Capacity, s.Hits, s.Misses, s.Evictions, s.Invalidations, s.Replans)
 }
 
 // planCache is an LRU cache of compiled plans. Cached plans are stored
@@ -110,6 +164,7 @@ type planCache struct {
 	misses      int64
 	evicted     int64
 	invalidated int64
+	replans     int64
 }
 
 type planEntry struct {
@@ -122,7 +177,10 @@ type planEntry struct {
 	// (relation, column order) drawn at compile time), so a registry
 	// byte-budget eviction can drop exactly the plans holding the
 	// evicted index and no others.
-	embedded   []leapfrog.SourceEntry
+	embedded []leapfrog.SourceEntry
+	// adapt is the adaptive-orderer feedback record; only entries whose
+	// key carries the adaptive orderer ever observe into it.
+	adapt      adaptiveState
 	prev, next *planEntry
 }
 
@@ -161,8 +219,10 @@ func (pc *planCache) get(key planKey) (*core.Plan, bool) {
 // past capacity. Re-storing an existing key (two requests raced on the
 // same miss) keeps the incumbent. names are the relations the plan
 // touches (retained for invalidateTouching); embedded the registry
-// entries it pins (retained for invalidateEmbedding).
-func (pc *planCache) put(key planKey, p *core.Plan, names []string, embedded []leapfrog.SourceEntry) {
+// entries it pins (retained for invalidateEmbedding); predicted the
+// orderer's traffic estimate at compile time (retained as the adaptive
+// feedback record's prediction).
+func (pc *planCache) put(key planKey, p *core.Plan, names []string, embedded []leapfrog.SourceEntry, predicted float64) {
 	if pc == nil {
 		return
 	}
@@ -171,7 +231,8 @@ func (pc *planCache) put(key planKey, p *core.Plan, names []string, embedded []l
 	if _, ok := pc.entries[key]; ok {
 		return
 	}
-	e := &planEntry{key: key, plan: p, names: names, embedded: embedded}
+	e := &planEntry{key: key, plan: p, names: names, embedded: embedded,
+		adapt: adaptiveState{predicted: predicted}}
 	pc.entries[key] = e
 	pc.pushBack(e)
 	for len(pc.entries) > pc.cap {
@@ -245,6 +306,88 @@ func (pc *planCache) invalidateEmbedding(rel *relation.Relation, perm string) {
 	}
 }
 
+// observe feeds one cache-hit execution's outcome into the entry's
+// adaptive feedback record: observed is the execution's
+// stats.Counters.TrieAccesses, emptyVars the variables of the depths
+// whose every attempted intersection was empty (core.AlwaysEmptyLevels
+// mapped through the plan's order). The first observation sets the
+// baseline; later ones diverging from it by more than threshold
+// (relative) bump a consecutive-divergence counter and accumulate
+// emptyVars, and once the counter reaches runs the method returns the
+// accumulated demote set and true — the caller must re-plan with it and
+// swap via replace. At most adaptMaxReplans re-plans are signalled per
+// entry. Missing entries (evicted or invalidated since the hit) are
+// ignored.
+func (pc *planCache) observe(key planKey, observed int64, emptyVars []string, threshold float64, runs int) ([]string, bool) {
+	if pc == nil {
+		return nil, false
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[key]
+	if !ok {
+		return nil, false
+	}
+	a := &e.adapt
+	if a.baseline == 0 {
+		a.baseline = observed
+		return nil, false
+	}
+	div := float64(observed-a.baseline) / float64(a.baseline)
+	if div < 0 {
+		div = -div
+	}
+	if div <= threshold {
+		a.divergent = 0
+		return nil, false
+	}
+	a.divergent++
+	for _, v := range emptyVars {
+		seen := false
+		for _, d := range a.demote {
+			if d == v {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			a.demote = append(a.demote, v)
+		}
+	}
+	if a.divergent < runs || a.replans >= adaptMaxReplans {
+		return nil, false
+	}
+	a.divergent = 0
+	a.replans++
+	return append([]string(nil), a.demote...), true
+}
+
+// replace swaps a re-planned entry's plan in place — same key (the
+// query, options and snapshot are unchanged; only the variable order
+// moved), fresh plan, names and pinned registry entries — and
+// re-baselines the feedback record so the swapped plan's own traffic
+// becomes the new reference. Counted in Replans. If the entry vanished
+// meanwhile (evicted, invalidated), the swap is dropped: the next miss
+// compiles fresh anyway.
+func (pc *planCache) replace(key planKey, p *core.Plan, names []string, embedded []leapfrog.SourceEntry, predicted float64) {
+	if pc == nil {
+		return
+	}
+	pc.mu.Lock()
+	defer pc.mu.Unlock()
+	e, ok := pc.entries[key]
+	if !ok {
+		return
+	}
+	e.plan = p
+	e.names = names
+	e.embedded = embedded
+	e.adapt.predicted = predicted
+	e.adapt.baseline = 0
+	e.adapt.divergent = 0
+	pc.replans++
+}
+
 func (pc *planCache) stats() PlanCacheStats {
 	if pc == nil {
 		return PlanCacheStats{}
@@ -256,6 +399,7 @@ func (pc *planCache) stats() PlanCacheStats {
 		Misses:        pc.misses,
 		Evictions:     pc.evicted,
 		Invalidations: pc.invalidated,
+		Replans:       pc.replans,
 		Size:          len(pc.entries),
 		Capacity:      pc.cap,
 	}

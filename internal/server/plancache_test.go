@@ -24,10 +24,10 @@ func TestPlanCachePerEntryInvalidation(t *testing.T) {
 	keyB := planKey{text: "b"}
 	keyC := planKey{text: "c"}
 	keyD := planKey{text: "d"}
-	pc.put(keyA, nil, []string{"E"}, []leapfrog.SourceEntry{{Rel: relE, Perm: permID}})
-	pc.put(keyB, nil, []string{"E"}, []leapfrog.SourceEntry{{Rel: relE, Perm: permSwap}})
-	pc.put(keyC, nil, []string{"E"}, nil) // private (constant-specialized) tries only
-	pc.put(keyD, nil, []string{"R"}, []leapfrog.SourceEntry{{Rel: relR, Perm: permID}})
+	pc.put(keyA, nil, []string{"E"}, []leapfrog.SourceEntry{{Rel: relE, Perm: permID}}, 0)
+	pc.put(keyB, nil, []string{"E"}, []leapfrog.SourceEntry{{Rel: relE, Perm: permSwap}}, 0)
+	pc.put(keyC, nil, []string{"E"}, nil, 0) // private (constant-specialized) tries only
+	pc.put(keyD, nil, []string{"R"}, []leapfrog.SourceEntry{{Rel: relR, Perm: permID}}, 0)
 
 	pc.invalidateEmbedding(relE, permID)
 

@@ -88,7 +88,7 @@ func (e *Engine) Prepare(req Request) (*Stmt, error) {
 	// into the lifetime counters either way — it happened.
 	db, vec, ep := e.snapshotFor(s.names)
 	var c stats.Counters
-	_, _, err = e.planFor(q, s.text, s.names, vec, db, s.def, &c)
+	_, _, _, err = e.planFor(q, s.text, s.names, vec, db, s.def, &c)
 	e.finish(ep)
 	e.life.Merge(&c)
 	if err != nil {
@@ -176,6 +176,9 @@ func (s *Stmt) merge(over Request) Request {
 	}
 	if over.NoOrderCost {
 		req.NoOrderCost = true
+	}
+	if over.Orderer != "" {
+		req.Orderer = over.Orderer
 	}
 	return req
 }
@@ -272,7 +275,7 @@ func (s *Stmt) stream(ctx context.Context, req Request, header func(order []stri
 	// stream fails mid-scan; only Queries is success-only.
 	var c stats.Counters
 	defer func() { s.e.life.Merge(&c) }()
-	plan, _, err := s.e.planFor(s.q, s.text, s.names, vec, db, req, &c)
+	plan, _, _, err := s.e.planFor(s.q, s.text, s.names, vec, db, req, &c)
 	if err != nil {
 		return err
 	}

@@ -51,7 +51,10 @@ func DefaultCostConfig(numVars int) CostConfig {
 	}
 }
 
-// Cost evaluates t under the configuration; lower is better.
+// Cost evaluates t under the configuration; lower is better. The score
+// is a dimensionless weighted sum — the weights exist to make its terms
+// comparable — so values are meaningful only relative to other TDs of
+// the same query scored under the same configuration.
 func Cost(t *TD, cfg CostConfig) float64 {
 	cost := 0.0
 	for v := range t.Bags {
@@ -82,7 +85,10 @@ func Cost(t *TD, cfg CostConfig) float64 {
 // Select enumerates TDs of q (per opts) and returns the one minimizing
 // Cost under cfg, together with its strongly compatible variable order.
 // Single-bag TDs are returned only when nothing better exists (e.g.
-// cliques, where CLFTJ degenerates to LFTJ by design).
+// cliques, where CLFTJ degenerates to LFTJ by design). This is the
+// data-dependent planner: when cfg carries VarSkew/OrderCost hooks,
+// selection scans column statistics and probes tries — SelectGreedy is
+// the O(vars·atoms) alternative that never touches an index.
 func Select(q *cq.Query, opts Options, cfg CostConfig) (*TD, []int) {
 	numVars := len(q.Vars())
 	if cfg.NumVars == 0 {

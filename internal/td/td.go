@@ -2,11 +2,19 @@
 // queries (§2.3 of the paper): bags, adhesions, owners, preorder,
 // compatibility and strong compatibility with variable orderings,
 // validation against the query, the GenericDecompose algorithm (Fig. 4)
-// over enumerated constrained separators, TD enumeration, and the
-// heuristic cost model used to pick a decomposition for caching (§4.3).
+// over enumerated constrained separators, TD enumeration, and two
+// planners that pick the decomposition and variable order CLFTJ caches
+// over: the data-dependent heuristic cost model (§4.3, Select) and the
+// stats-free greedy orderer (SelectGreedy). The normative description
+// of both — cost-model terms, ranking rules, and the adaptive feedback
+// contract layered on top — is docs/PLANNING.md.
 //
 // Throughout the package, variables are identified by their index in
-// query.Vars() (the canonical first-appearance order).
+// query.Vars() (the canonical first-appearance order). Every planner
+// returns an order that is strongly compatible with its decomposition
+// (StronglyCompatible): a preorder walk of the tree emitting each bag's
+// unseen variables consecutively — the invariant the adhesion-keyed
+// caches require.
 package td
 
 import (

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# check_md_links.sh — verify that every relative markdown link resolves.
+#
+# Scans the repository's *.md files (top level, docs/, and any tracked
+# markdown elsewhere) for inline links [text](target) and checks that
+# each relative target exists on disk, resolved against the linking
+# file's directory. External schemes (http/https/mailto), pure in-page
+# anchors (#...), and targets that resolve outside the repository
+# (GitHub site-relative idioms like ../../actions/... badge links) are
+# skipped; a target's own #fragment is stripped before the existence
+# check. Exits non-zero listing every broken link.
+#
+# Usage: scripts/check_md_links.sh [root]   (default: repo root)
+
+set -euo pipefail
+
+root=${1:-$(cd "$(dirname "$0")/.." && pwd)}
+cd "$root"
+
+if command -v git >/dev/null && git rev-parse --is-inside-work-tree >/dev/null 2>&1; then
+    mapfile -t files < <(git ls-files '*.md')
+else
+    mapfile -t files < <(find . -name '*.md' -not -path './.git/*' | sed 's|^\./||')
+fi
+
+fail=0
+for f in "${files[@]}"; do
+    dir=$(dirname "$f")
+    # Inline links only: [text](target). Reference-style links are not
+    # used in this repository; grep -o keeps one match per line each.
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:* | '#'*) continue ;;
+        esac
+        path=${target%%#*}
+        [ -n "$path" ] || continue
+        # Site-relative links escape the repo root; they address the
+        # forge's website, not the tree.
+        abs=$(realpath -m "$dir/$path")
+        case "$abs" in
+        "$root"/* | "$root") ;;
+        *) continue ;;
+        esac
+        if [ ! -e "$dir/$path" ]; then
+            echo "::error file=$f::broken link: ($target) -> $dir/$path does not exist"
+            fail=1
+        fi
+    done < <(grep -o '\[[^][]*\]([^()[:space:]]*)' "$f" 2>/dev/null | sed 's/^.*](\([^()]*\))$/\1/')
+done
+
+if [ "$fail" -ne 0 ]; then
+    exit 1
+fi
+echo "all relative markdown links resolve (${#files[@]} files checked)"
