@@ -48,6 +48,7 @@ func BenchmarkE15Micro(b *testing.B)         { benchExperiment(b, bench.HotPath)
 func BenchmarkE17Planner(b *testing.B)       { benchExperiment(b, bench.Planner) }
 func BenchmarkE18Stream(b *testing.B)        { benchExperiment(b, bench.StreamThroughput) }
 func BenchmarkE19Persist(b *testing.B)       { benchExperiment(b, bench.PersistentRestart) }
+func BenchmarkE20Cluster(b *testing.B)       { benchExperiment(b, bench.ClusterScatterGather) }
 
 // Per-engine micro-benchmarks: a fixed skewed graph and query so the
 // three algorithms' costs are directly comparable in one `-bench` run.

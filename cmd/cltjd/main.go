@@ -18,6 +18,17 @@
 // WALs replayed, dataset flags ignored — and answers its first query in
 // milliseconds with zero trie builds (observable via GET /stats).
 //
+// The daemon also scales out (DESIGN.md, "Distributed serving").
+// With -shard i/n it serves one hash partition: the dataset is loaded
+// and only the tuples whose first attribute hashes to partition i are
+// kept. With -coordinator -shards host1,host2,... it serves no data
+// itself but fans queries out over the listed shard daemons (in
+// partition order) and merges the answers with single-engine semantics.
+// In every mode the listener binds immediately and answers 503 on all
+// paths — including GET /healthz — until the engine has booted (or, for
+// a coordinator, until every shard is ready), so probes can tell
+// "booting" from "down".
+//
 // Usage:
 //
 //	cltjd [-addr :8372] [-data graph.txt | -rel R=path ...] [-symmetric]
@@ -25,6 +36,9 @@
 //	      [-trie-budget BYTES] [-max-tuples N]
 //	      [-orderer cost|greedy|adaptive] [-adapt-threshold F] [-adapt-runs K]
 //	      [-compact-fraction F] [-plan-cache N] [-max-prepared N] [-drain DUR]
+//	      [-shard i/n]
+//	cltjd -coordinator -shards host1:8372,host2:8372 [-addr :8372]
+//	      [-admit DUR] [-shard-timeout DUR] [-drain DUR]
 //
 // Endpoints (see internal/server for the wire format):
 //
@@ -36,24 +50,32 @@
 //	DELETE /prepare/{id} close a prepared statement
 //	POST   /update       {"relation": "E", "inserts": [[7,9]], "deletes": [[1,2]]}
 //	GET    /stats        engine-lifetime counters + registry + plan cache + versions
-//	GET    /healthz      liveness probe
+//	GET    /healthz      readiness probe (503 while booting, 200 serving)
+//
+// A coordinator serves the same /query, /update, /stats and /healthz
+// surface (no /prepare — prepared statements are engine-local), merged
+// across its fleet: counts summed, streams merged byte-identically in
+// root-key order, counters folded exactly. Shard failures answer 502
+// naming the failed shard; a snapshot that moved mid-merge answers 409.
 //
 // Queries run under their request contexts: a disconnected client
 // cancels its query, and SIGINT/SIGTERM shuts the daemon down
 // gracefully — in-flight queries drain (bounded by -drain), epoch
 // reclamation proceeds as usual, then the process exits.
 //
-// Example:
+// Example (two shards and a coordinator on one host):
 //
-//	cltjd -data graph.txt &
-//	curl -s localhost:8372/query -d '{"query": "E(x,y), E(y,z), E(x,z)"}'
-//	curl -s localhost:8372/update -d '{"relation": "E", "inserts": [[7, 9]]}'
+//	cltjd -data graph.txt -shard 0/2 -addr :8401 &
+//	cltjd -data graph.txt -shard 1/2 -addr :8402 &
+//	cltjd -coordinator -shards localhost:8401,localhost:8402 -addr :8400 &
+//	curl -s localhost:8400/query -d '{"query": "E(x,y), E(x,z)"}'
 package main
 
 import (
 	"context"
 	"errors"
 	"flag"
+	"fmt"
 	"log"
 	"net/http"
 	"os"
@@ -62,6 +84,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dataset"
 	"repro/internal/relation"
@@ -96,40 +119,100 @@ func main() {
 	maxPreparedFlag := flag.Int("max-prepared", 0, "prepared-statement registry cap (0 = default)")
 	dataDirFlag := flag.String("data-dir", "", "persistent data directory: snapshots + write-ahead logs + trie index files; a populated directory boots warm (dataset flags are ignored) and updates become durable")
 	drainFlag := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
+	shardFlag := flag.String("shard", "", "serve one hash partition of the dataset: -shard i/n keeps only the tuples whose first attribute hashes to partition i of n (cluster shard mode)")
+	coordFlag := flag.Bool("coordinator", false, "serve as a scatter–gather coordinator over -shards instead of loading data")
+	shardsFlag := flag.String("shards", "", "coordinator mode: comma-separated shard daemon addresses, in partition order")
+	admitFlag := flag.Duration("admit", 2*time.Minute, "coordinator mode: how long to wait for every shard to answer its readiness probe before serving")
+	shardTimeoutFlag := flag.Duration("shard-timeout", cluster.DefaultShardTimeout, "coordinator mode: per-shard request timeout for buffered operations")
 	flag.Parse()
 	if !core.Orderer(*ordererFlag).Valid() {
 		log.Fatalf("cltjd: unknown -orderer %q (want cost, greedy or adaptive)", *ordererFlag)
 	}
+	if *coordFlag && *shardFlag != "" {
+		log.Fatalln("cltjd: -coordinator and -shard are mutually exclusive (a coordinator serves no data)")
+	}
 
-	engine, warm, err := server.OpenEngine(server.Config{
-		Workers:         *workersFlag,
-		StreamWorkers:   *streamWorkersFlag,
-		BatchSize:       *batchFlag,
-		TrieBudget:      *budgetFlag,
-		MaxTuples:       *maxTuples,
-		CompactFraction: *compactFlag,
-		PlanCache:       *planCacheFlag,
-		Orderer:         *ordererFlag,
-		AdaptThreshold:  *adaptThresholdFlag,
-		AdaptRuns:       *adaptRunsFlag,
-		MaxPrepared:     *maxPreparedFlag,
-		DataDir:         *dataDirFlag,
-	}, func() (*relation.DB, error) {
-		db, _, err := dataset.LoadDB(rels, *dataFlag, *symFlag)
-		return db, err
-	})
-	if err != nil {
-		log.Fatalln("cltjd:", err)
-	}
-	if *dataDirFlag != "" {
-		if warm {
-			log.Printf("warm start: %s snapshots mmap'd, wal replayed, dataset files skipped", *dataDirFlag)
-		} else {
-			log.Printf("cold start: dataset persisted to %s (next start will be warm)", *dataDirFlag)
+	// The listener binds before any engine boot or shard admission: a
+	// warm restart replaying a long WAL — or a coordinator waiting for
+	// its fleet — answers 503 ("starting") on every path, including
+	// GET /healthz, instead of refusing connections. gate.Set flips the
+	// daemon to serving atomically.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	gate := server.NewGate()
+	srv := &http.Server{Addr: *addr, Handler: gate}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+
+	var engine *server.Engine
+	if *coordFlag {
+		addrs := strings.Split(*shardsFlag, ",")
+		for i := range addrs {
+			addrs[i] = strings.TrimSpace(addrs[i])
 		}
-	}
-	for _, info := range engine.Stats().Relations {
-		log.Printf("relation %s: %d tuples (arity %d, version %d)", info.Name, info.Tuples, info.Arity, info.Version)
+		if *shardsFlag == "" || len(addrs) == 0 {
+			log.Fatalln("cltjd: -coordinator requires -shards host1,host2,... (partition order)")
+		}
+		coord, err := cluster.NewHTTP(addrs, cluster.ClientConfig{Timeout: *shardTimeoutFlag}, cluster.Config{})
+		if err != nil {
+			log.Fatalln("cltjd:", err)
+		}
+		log.Printf("cltjd coordinator on %s: waiting up to %s for %d shards to become ready", *addr, *admitFlag, len(addrs))
+		admitCtx, cancel := context.WithTimeout(ctx, *admitFlag)
+		err = coord.WaitReady(admitCtx)
+		cancel()
+		if err != nil {
+			log.Fatalln("cltjd:", err)
+		}
+		gate.Set(cluster.NewHandler(coord))
+		log.Printf("cltjd coordinator serving %d shards on %s (POST /query, POST /update, GET /stats, GET /healthz)", len(addrs), *addr)
+	} else {
+		shardIdx, shardTotal, err := parseShard(*shardFlag)
+		if err != nil {
+			log.Fatalln("cltjd:", err)
+		}
+		var warm bool
+		engine, warm, err = server.OpenEngine(server.Config{
+			Workers:         *workersFlag,
+			StreamWorkers:   *streamWorkersFlag,
+			BatchSize:       *batchFlag,
+			TrieBudget:      *budgetFlag,
+			MaxTuples:       *maxTuples,
+			CompactFraction: *compactFlag,
+			PlanCache:       *planCacheFlag,
+			Orderer:         *ordererFlag,
+			AdaptThreshold:  *adaptThresholdFlag,
+			AdaptRuns:       *adaptRunsFlag,
+			MaxPrepared:     *maxPreparedFlag,
+			DataDir:         *dataDirFlag,
+		}, func() (*relation.DB, error) {
+			db, _, err := dataset.LoadDB(rels, *dataFlag, *symFlag)
+			if err != nil || shardTotal == 0 {
+				return db, err
+			}
+			// Shard mode: every shard loads the same dataset files and
+			// keeps its own hash slice. A later warm boot skips this
+			// loader entirely and serves the slice it persisted.
+			return cluster.Keep(db, shardIdx, shardTotal)
+		})
+		if err != nil {
+			log.Fatalln("cltjd:", err)
+		}
+		if *dataDirFlag != "" {
+			if warm {
+				log.Printf("warm start: %s snapshots mmap'd, wal replayed, dataset files skipped", *dataDirFlag)
+			} else {
+				log.Printf("cold start: dataset persisted to %s (next start will be warm)", *dataDirFlag)
+			}
+		}
+		if shardTotal != 0 {
+			log.Printf("shard %d/%d: serving the first-attribute hash partition", shardIdx, shardTotal)
+		}
+		for _, info := range engine.Stats().Relations {
+			log.Printf("relation %s: %d tuples (arity %d, version %d)", info.Name, info.Tuples, info.Arity, info.Version)
+		}
+		gate.Set(server.NewHandler(engine))
+		log.Printf("cltjd listening on %s (POST /query, POST /prepare, POST /update, GET /stats, GET /healthz)", *addr)
 	}
 
 	// Serve until SIGINT/SIGTERM, then shut down gracefully: Shutdown
@@ -138,13 +221,6 @@ func main() {
 	// finish, exactly as in steady state (queries that outlive the drain
 	// budget are cancelled through their request contexts when the
 	// server closes their connections).
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
-	srv := &http.Server{Addr: *addr, Handler: server.NewHandler(engine)}
-	errc := make(chan error, 1)
-	go func() { errc <- srv.ListenAndServe() }()
-	log.Printf("cltjd listening on %s (POST /query, POST /prepare, POST /update, GET /stats, GET /healthz)", *addr)
-
 	select {
 	case err := <-errc:
 		log.Fatalln("cltjd:", err)
@@ -161,10 +237,28 @@ func main() {
 	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		log.Fatalln("cltjd:", err)
 	}
+	if engine == nil {
+		log.Printf("cltjd: bye")
+		return
+	}
 	// Queries have drained (or been cancelled) by now, so the mmap'd
 	// snapshots and WAL handles can be released safely.
 	if err := engine.Close(); err != nil {
 		log.Printf("cltjd: closing data dir: %v", err)
 	}
 	log.Printf("cltjd: bye (%d queries served)", engine.Stats().Queries)
+}
+
+// parseShard parses -shard i/n; an empty flag means unsharded (0, 0).
+func parseShard(s string) (idx, total int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	if _, err := fmt.Sscanf(s, "%d/%d", &idx, &total); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n, e.g. 0/2)", s)
+	}
+	if total < 1 || idx < 0 || idx >= total {
+		return 0, 0, fmt.Errorf("bad -shard %q: index must be in [0,%d)", s, total)
+	}
+	return idx, total, nil
 }

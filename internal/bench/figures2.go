@@ -226,6 +226,7 @@ func Experiments() []Experiment {
 		{"E17 (planner)", Planner},
 		{"E18 (streaming)", StreamThroughput},
 		{"E19 (persistence)", PersistentRestart},
+		{"E20 (cluster)", ClusterScatterGather},
 	}
 }
 

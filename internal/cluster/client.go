@@ -1,0 +1,299 @@
+package cluster
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ClientConfig tunes one shard client.
+type ClientConfig struct {
+	// Timeout bounds each buffered request (query, update, stats,
+	// readiness probe) end to end; 0 uses DefaultShardTimeout. Streaming
+	// requests are bounded only by their context — a large result set is
+	// not a failure.
+	Timeout time.Duration
+	// Retries is the number of extra attempts for idempotent reads
+	// (query, versions, stats, readiness) after a transport failure —
+	// never after an HTTP-level answer, and never for updates, which are
+	// not idempotent. Negative disables retry; 0 uses
+	// DefaultShardRetries.
+	Retries int
+}
+
+// DefaultShardTimeout bounds one buffered shard request when the config
+// does not name one.
+const DefaultShardTimeout = 30 * time.Second
+
+// DefaultShardRetries is the bounded retry budget for idempotent reads
+// when the config does not name one.
+const DefaultShardRetries = 2
+
+// Client speaks the shard protocol over the daemon's HTTP/JSON surface.
+// It keeps one transport per shard with connection reuse (the
+// coordinator's fan-out pattern makes every shard a hot peer), applies
+// a per-request timeout, and retries idempotent reads a bounded number
+// of times on transport errors. Safe for concurrent use.
+type Client struct {
+	name    string
+	base    string
+	hc      *http.Client
+	timeout time.Duration
+	retries int
+}
+
+// NewClient returns a shard client for addr (host:port, or a full
+// http:// base URL).
+func NewClient(addr string, cfg ClientConfig) *Client {
+	base := addr
+	if !strings.Contains(base, "://") {
+		base = "http://" + base
+	}
+	timeout := cfg.Timeout
+	if timeout == 0 {
+		timeout = DefaultShardTimeout
+	}
+	retries := cfg.Retries
+	if retries == 0 {
+		retries = DefaultShardRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	return &Client{
+		name: addr,
+		base: strings.TrimSuffix(base, "/"),
+		hc: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 32,
+			IdleConnTimeout:     90 * time.Second,
+		}},
+		timeout: timeout,
+		retries: retries,
+	}
+}
+
+// Name implements Shard.
+func (c *Client) Name() string { return c.name }
+
+// roundTrip performs one bounded HTTP exchange and decodes the JSON
+// answer into out. A non-2xx status decodes the daemon's {"error": ...}
+// body into a *StatusError. idempotent requests are retried on
+// transport errors (connection refused/reset, timeout before any HTTP
+// answer) up to the retry budget.
+func (c *Client) roundTrip(ctx context.Context, method, path string, body any, out any, idempotent bool) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	attempts := 1
+	if idempotent {
+		attempts += c.retries
+	}
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		lastErr = c.once(ctx, method, path, payload, out)
+		var se *StatusError
+		if lastErr == nil || errors.As(lastErr, &se) || ctx.Err() != nil {
+			// An HTTP-level answer is authoritative — the shard saw the
+			// request; only transport failures are worth retrying.
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+func (c *Client) once(ctx context.Context, method, path string, payload []byte, out any) error {
+	ctx, cancel := context.WithTimeout(ctx, c.timeout)
+	defer cancel()
+	var body io.Reader
+	if payload != nil {
+		body = bytes.NewReader(payload)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, body)
+	if err != nil {
+		return err
+	}
+	if payload != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return &StatusError{Status: resp.StatusCode, Msg: decodeErrorBody(resp.Body)}
+	}
+	if out == nil {
+		_, err := io.Copy(io.Discard, resp.Body)
+		return err
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// decodeErrorBody extracts the daemon's JSON error message, falling
+// back to the raw body for non-JSON answers.
+func decodeErrorBody(r io.Reader) string {
+	raw, _ := io.ReadAll(io.LimitReader(r, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(raw, &e) == nil && e.Error != "" {
+		return e.Error
+	}
+	return strings.TrimSpace(string(raw))
+}
+
+// Ready implements Shard: GET /healthz, expecting the 200 the daemon
+// only serves once its engine is booted (the readiness gate answers 503
+// during warm boot / WAL replay).
+func (c *Client) Ready(ctx context.Context) error {
+	return c.roundTrip(ctx, http.MethodGet, "/healthz", nil, nil, true)
+}
+
+// Versions implements Shard via GET /stats.
+func (c *Client) Versions(ctx context.Context, names []string) (map[string]uint64, error) {
+	st, err := c.Stats(ctx)
+	if err != nil {
+		return nil, err
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		want[n] = true
+	}
+	out := make(map[string]uint64, len(names))
+	for _, rel := range st.Relations {
+		if names == nil || want[rel.Name] {
+			out[rel.Name] = rel.Version
+		}
+	}
+	return out, nil
+}
+
+// Do implements Shard: POST /query. Count, eval and aggregate are
+// reads, so transport failures are retried within the budget.
+func (c *Client) Do(ctx context.Context, req server.Request) (*server.Response, error) {
+	var resp server.Response
+	if err := c.roundTrip(ctx, http.MethodPost, "/query", req, &resp, true); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Update implements Shard: POST /update, never retried (a delta is not
+// idempotent — a retry after an ambiguous transport failure could apply
+// it twice... which set semantics would absorb, but the version vector
+// would advance twice and break the snapshot handshake).
+func (c *Client) Update(ctx context.Context, req server.UpdateRequest) (*server.UpdateResult, error) {
+	var res server.UpdateResult
+	if err := c.roundTrip(ctx, http.MethodPost, "/update", req, &res, false); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Stats implements Shard: GET /stats.
+func (c *Client) Stats(ctx context.Context) (*server.EngineStats, error) {
+	var st server.EngineStats
+	if err := c.roundTrip(ctx, http.MethodGet, "/stats", nil, &st, true); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// streamLine is one NDJSON line of the daemon's streaming response.
+type streamLine struct {
+	Order   []string `json:"order"`
+	Row     *[]int64 `json:"row"`
+	Summary *struct {
+		Count     int64 `json:"count"`
+		Truncated bool  `json:"truncated"`
+	} `json:"summary"`
+	Error *string `json:"error"`
+}
+
+// maxStreamLine bounds one NDJSON line (a row of a very wide query
+// still fits comfortably).
+const maxStreamLine = 1 << 20
+
+// Stream implements Shard: POST /query with "mode": "stream", decoding
+// the NDJSON answer — header line, row lines, summary or error trailer.
+// Not retried: rows may already have been delivered. The request's
+// context bounds the whole stream (no per-request timeout — long
+// streams are not failures); row returning false abandons the response
+// body, which cancels the shard's scan through its request context.
+func (c *Client) Stream(ctx context.Context, req server.Request, header func(order []string), row func(mu []int64) bool) (server.StreamSummary, error) {
+	req.Mode = "stream"
+	payload, err := json.Marshal(req)
+	if err != nil {
+		return server.StreamSummary{}, err
+	}
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(payload))
+	if err != nil {
+		return server.StreamSummary{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.hc.Do(hreq)
+	if err != nil {
+		return server.StreamSummary{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return server.StreamSummary{}, &StatusError{Status: resp.StatusCode, Msg: decodeErrorBody(resp.Body)}
+	}
+
+	var sum server.StreamSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64<<10), maxStreamLine)
+	sawTrailer := false
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var msg streamLine
+		if err := json.Unmarshal(line, &msg); err != nil {
+			return sum, fmt.Errorf("cluster: bad stream line from %s: %w", c.name, err)
+		}
+		switch {
+		case msg.Error != nil:
+			return sum, errors.New(*msg.Error)
+		case msg.Summary != nil:
+			sum.Count = msg.Summary.Count
+			sum.Truncated = msg.Summary.Truncated
+			sawTrailer = true
+		case msg.Row != nil:
+			sum.Count++ // a consumer stop still counts the delivered row
+			if !row(*msg.Row) {
+				return sum, nil // consumer stop: normal completion
+			}
+		case msg.Order != nil:
+			if header != nil {
+				header(msg.Order)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return sum, err
+	}
+	if !sawTrailer {
+		return sum, fmt.Errorf("cluster: stream from %s ended without a summary trailer", c.name)
+	}
+	return sum, nil
+}

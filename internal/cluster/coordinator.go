@@ -1,0 +1,594 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cq"
+	"repro/internal/server"
+	"repro/internal/stats"
+)
+
+// Config tunes a Coordinator.
+type Config struct {
+	// RouteCache bounds the routing cache (entries; 0:
+	// DefaultRouteCacheSize, negative: disabled). Entries are keyed by
+	// (query text, options, global version vector), so any applied
+	// update moves the key and stale routes age out unreached.
+	RouteCache int
+}
+
+// Coordinator fans queries out over a fixed shard fleet and merges the
+// answers with single-engine semantics. It is safe for concurrent use.
+//
+// Exactness contract: the shards must hold disjoint first-attribute
+// hash partitions of one database under ShardOf (Partition or Keep
+// built them, and every update went through SplitUpdate or
+// Coordinator.Update). Under that invariant, for every query Route
+// admits, the merged answer — count, aggregate, eval sample, stream —
+// is byte-identical to a single engine serving the union, and the
+// merged stats.Counters are the exact fold of the per-shard work.
+type Coordinator struct {
+	routing Routing
+	shards  []Shard
+	routes  *routeCache
+
+	queries         atomic.Int64
+	updates         atomic.Int64
+	snapshotRejects atomic.Int64
+	notShardable    atomic.Int64
+}
+
+// New builds a coordinator over an ordered shard fleet: shards[i] must
+// serve partition i of routing (the order is part of the partitioning
+// contract, not a convenience).
+func New(routing Routing, shards []Shard, cfg Config) (*Coordinator, error) {
+	if routing.Shards < 1 {
+		return nil, fmt.Errorf("cluster: routing needs at least 1 shard, got %d", routing.Shards)
+	}
+	if len(shards) != routing.Shards {
+		return nil, fmt.Errorf("cluster: routing describes %d shards but %d were given", routing.Shards, len(shards))
+	}
+	capacity := cfg.RouteCache
+	if capacity == 0 {
+		capacity = DefaultRouteCacheSize
+	}
+	return &Coordinator{
+		routing: routing,
+		shards:  shards,
+		routes:  newRouteCache(capacity),
+	}, nil
+}
+
+// NewHTTP builds a coordinator whose fleet is the given daemon
+// addresses, in partition order (cltjd -coordinator -shards a,b,...).
+func NewHTTP(addrs []string, ccfg ClientConfig, cfg Config) (*Coordinator, error) {
+	shards := make([]Shard, len(addrs))
+	for i, a := range addrs {
+		shards[i] = NewClient(a, ccfg)
+	}
+	return New(Routing{Shards: len(addrs)}, shards, cfg)
+}
+
+// Routing returns the partitioning descriptor the coordinator routes by.
+func (c *Coordinator) Routing() Routing { return c.routing }
+
+// readyPollInterval paces WaitReady's probes between failed rounds.
+const readyPollInterval = 100 * time.Millisecond
+
+// WaitReady blocks until every shard answers its readiness probe (a
+// warm-booting shard replaying its WAL answers 503 until it serves), or
+// ctx expires — then the error names the shard still not ready. The
+// coordinator daemon gates admission on it before accepting queries.
+func (c *Coordinator) WaitReady(ctx context.Context) error {
+	idxs := c.allShards()
+	for {
+		err := c.each(ctx, idxs, "ready", func(ctx context.Context, i int) error {
+			return c.shards[i].Ready(ctx)
+		})
+		if err == nil {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("cluster: fleet not ready: %w", err)
+		case <-time.After(readyPollInterval):
+		}
+	}
+}
+
+func (c *Coordinator) allShards() []int {
+	idxs := make([]int, len(c.shards))
+	for i := range idxs {
+		idxs[i] = i
+	}
+	return idxs
+}
+
+// shardErr wraps a shard failure with its name and operation; already
+// typed cluster errors pass through unwrapped so HTTP status mapping
+// sees them.
+func (c *Coordinator) shardErr(i int, op string, err error) error {
+	if _, ok := err.(*ShardError); ok {
+		return err
+	}
+	return &ShardError{Shard: c.shards[i].Name(), Op: op, Err: err}
+}
+
+// each runs f once per shard index concurrently and returns the first
+// failure (wrapped as a ShardError naming the shard), cancelling the
+// siblings. It waits for every call to return before it does — no
+// goroutine outlives the fan-out.
+func (c *Coordinator) each(ctx context.Context, idxs []int, op string, f func(ctx context.Context, shard int) error) error {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	errc := make(chan error, len(idxs))
+	for _, i := range idxs {
+		go func(i int) {
+			if err := f(ctx, i); err != nil {
+				errc <- c.shardErr(i, op, err)
+				return
+			}
+			errc <- nil
+		}(i)
+	}
+	var first error
+	for range idxs {
+		if err := <-errc; err != nil && first == nil {
+			first = err
+			cancel()
+		}
+	}
+	return first
+}
+
+// preflight collects every shard's full version vector concurrently —
+// the first half of the consistent-snapshot handshake. The returned
+// slice is indexed by shard.
+func (c *Coordinator) preflight(ctx context.Context) ([]map[string]uint64, error) {
+	vecs := make([]map[string]uint64, len(c.shards))
+	err := c.each(ctx, c.allShards(), "versions", func(ctx context.Context, i int) error {
+		v, err := c.shards[i].Versions(ctx, nil)
+		if err != nil {
+			return err
+		}
+		vecs[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return vecs, nil
+}
+
+// encodeVectors renders the global version vector — every shard's
+// per-relation version numbers, concatenated in shard order — as the
+// route-cache key component.
+func encodeVectors(vecs []map[string]uint64) string {
+	var b strings.Builder
+	for i, m := range vecs {
+		fmt.Fprintf(&b, "#%d{", i)
+		names := make([]string, 0, len(m))
+		for name := range m {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(&b, "%s:%d,", name, m[name])
+		}
+		b.WriteByte('}')
+	}
+	return b.String()
+}
+
+// versionsMatch reports whether the vector a shard's execution pinned
+// agrees with the vector preflight collected (executed covers only the
+// relations the query touches; pre is the shard's full vector).
+func versionsMatch(executed, pre map[string]uint64) bool {
+	for name, num := range executed {
+		if p, ok := pre[name]; !ok || p != num {
+			return false
+		}
+	}
+	return true
+}
+
+// optsKey canonicalizes the route-affecting request options. The
+// orderer is always the forced greedy strategy, so only the order-cost
+// skip (plan-affecting on the shards) distinguishes entries.
+func optsKey(req server.Request) string {
+	if req.NoOrderCost {
+		return "noc"
+	}
+	return ""
+}
+
+// sortedRelNames returns the sorted distinct relation names q touches.
+func sortedRelNames(q *cq.Query) []string {
+	seen := make(map[string]bool, len(q.Atoms))
+	names := make([]string, 0, len(q.Atoms))
+	for _, a := range q.Atoms {
+		if !seen[a.Rel] {
+			seen[a.Rel] = true
+			names = append(names, a.Rel)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// routed is one resolved execution: the route, the touched relations,
+// the expected variable order (nil until the first execution at this
+// snapshot learns it), and the preflight vectors backing the key.
+type routed struct {
+	key   routeKey
+	route RoutePlan
+	names []string
+	order []string
+	vecs  []map[string]uint64
+}
+
+// resolve runs the preflight handshake and the route decision, serving
+// parse + route from the route cache when the global vector matches.
+func (c *Coordinator) resolve(ctx context.Context, req server.Request) (*routed, error) {
+	vecs, err := c.preflight(ctx)
+	if err != nil {
+		return nil, err
+	}
+	key := routeKey{text: req.Query, opts: optsKey(req), vers: encodeVectors(vecs)}
+	if route, names, order, ok := c.routes.get(key); ok {
+		return &routed{key: key, route: route, names: names, order: order, vecs: vecs}, nil
+	}
+	q, err := cq.Parse(req.Query)
+	if err != nil {
+		return nil, err
+	}
+	route, err := c.routing.Route(q)
+	if err != nil {
+		c.notShardable.Add(1)
+		return nil, err
+	}
+	names := sortedRelNames(q)
+	c.routes.put(key, route, names, nil)
+	return &routed{key: key, route: route, names: names, vecs: vecs}, nil
+}
+
+// checkOrders verifies the per-shard variable orders agree with each
+// other, with the cached expectation, and — on multi-shard routes —
+// lead with the partition variable the merge keys on. It returns the
+// common order.
+func (c *Coordinator) checkOrders(rt *routed, orders [][]string) ([]string, error) {
+	want := rt.order
+	for j, ord := range orders {
+		if want == nil {
+			want = ord
+			continue
+		}
+		if !equalStrings(want, ord) {
+			return nil, &ShardError{
+				Shard: c.shards[rt.route.Shards[j]].Name(),
+				Op:    "merge",
+				Err:   fmt.Errorf("variable order %v diverges from %v — shards must plan identically", ord, want),
+			}
+		}
+	}
+	if len(rt.route.Shards) > 1 {
+		if len(want) == 0 || want[0] != rt.route.Var {
+			return nil, &ShardError{
+				Shard: c.shards[rt.route.Shards[0]].Name(),
+				Op:    "merge",
+				Err:   fmt.Errorf("variable order %v does not lead with partition variable %q", want, rt.route.Var),
+			}
+		}
+	}
+	c.routes.learn(rt.key, want)
+	return want, nil
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// prepare validates and normalizes one fan-out request: prepared
+// statements are engine-local handles a coordinator cannot route, and
+// the orderer is forced to the greedy strategy — the one planning mode
+// that is purely structural, so every shard (whatever its data slice
+// looks like) compiles the same variable order and the merges below are
+// byte-exact. Cost or adaptive ordering would let two shards pick
+// different orders for one query.
+func (c *Coordinator) prepare(req server.Request) (server.Request, error) {
+	if req.Stmt != "" {
+		return req, fmt.Errorf("cluster: prepared statements are engine-local — send query text to the coordinator")
+	}
+	switch req.Orderer {
+	case "", "greedy":
+	default:
+		return req, fmt.Errorf("cluster: coordinator plans with the greedy orderer only (got %q) — data-dependent ordering could diverge across shards", req.Orderer)
+	}
+	req.Orderer = "greedy"
+	return req, nil
+}
+
+// Do executes one buffered request across the fleet and merges the
+// per-shard responses: counts and counting aggregates by summation,
+// "sum" by summation and "min" by minimum (an empty shard answers the
+// semiring identity, so the fold is exact), eval samples by a k-way
+// root-key merge that reproduces the single-engine tuple order, and
+// per-query counters by stats.Counters.Merge. The merged Response
+// carries no Versions map — per-shard vectors do not collapse into one.
+func (c *Coordinator) Do(ctx context.Context, req server.Request) (*server.Response, error) {
+	start := time.Now()
+	req, err := c.prepare(req)
+	if err != nil {
+		return nil, err
+	}
+	if req.Mode == "stream" {
+		return nil, fmt.Errorf("cluster: mode \"stream\" has no buffered response — use Coordinator.StreamCtx or POST /query over HTTP")
+	}
+	rt, err := c.resolve(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	sreq := req
+	limit := 0
+	if req.Mode == "eval" {
+		// The coordinator resolves the effective limit itself and pins it
+		// on every shard: each shard then returns (up to) a full global
+		// sample's worth of its lowest root blocks, which is exactly what
+		// the k-way merge needs to reproduce the single-engine prefix.
+		limit = req.Limit
+		if limit <= 0 {
+			limit = server.DefaultMaxTuples
+		}
+		sreq.Limit = limit
+	}
+
+	idxs := rt.route.Shards
+	byShard := make([]*server.Response, len(c.shards))
+	err = c.each(ctx, idxs, "query", func(ctx context.Context, i int) error {
+		resp, err := c.shards[i].Do(ctx, sreq)
+		if err != nil {
+			return err
+		}
+		byShard[i] = resp
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	resps := make([]*server.Response, len(idxs))
+	for j, i := range idxs {
+		resps[j] = byShard[i]
+	}
+
+	// Second half of the snapshot handshake: every response must have
+	// executed at the vector preflight saw, or two shards may have
+	// answered from different global snapshots and the merge is refused.
+	// A single-shard route needs no cross-shard consistency — the shard's
+	// own snapshot pin already makes its answer exact.
+	if len(idxs) > 1 {
+		for j, i := range idxs {
+			if !versionsMatch(resps[j].Versions, rt.vecs[i]) {
+				c.snapshotRejects.Add(1)
+				return nil, fmt.Errorf("%w: shard %s executed at a newer vector than the handshake collected", ErrSnapshotMoved, c.shards[i].Name())
+			}
+		}
+	}
+
+	orders := make([][]string, len(resps))
+	for j, r := range resps {
+		orders[j] = r.Order
+	}
+	order, err := c.checkOrders(rt, orders)
+	if err != nil {
+		return nil, err
+	}
+
+	merged := &server.Response{Mode: resps[0].Mode, Order: order}
+	merged.Stats.PlanCached = true
+	for _, r := range resps {
+		merged.Stats.Counters.Merge(&r.Stats.Counters)
+		merged.Stats.CachedEntries += r.Stats.CachedEntries
+		merged.Stats.PlanCached = merged.Stats.PlanCached && r.Stats.PlanCached
+	}
+	switch req.Mode {
+	case "", "count":
+		for _, r := range resps {
+			merged.Count += r.Count
+		}
+	case "eval":
+		for _, r := range resps {
+			merged.Count += r.Count
+		}
+		merged.Tuples = mergeSamples(resps, limit)
+		merged.Truncated = merged.Count > int64(limit)
+	case "aggregate":
+		switch req.Semiring {
+		case "", "count":
+			for _, r := range resps {
+				merged.Count += r.Count
+			}
+		case "sum":
+			for _, r := range resps {
+				merged.Value += r.Value
+			}
+		case "min":
+			merged.Value = resps[0].Value
+			for _, r := range resps[1:] {
+				if r.Value < merged.Value {
+					merged.Value = r.Value
+				}
+			}
+		default:
+			// The shards validate semirings; reaching here means they all
+			// accepted one this coordinator cannot fold.
+			return nil, fmt.Errorf("cluster: cannot merge semiring %q", req.Semiring)
+		}
+	default:
+		return nil, fmt.Errorf("cluster: unknown mode %q (want count, eval or aggregate)", req.Mode)
+	}
+
+	merged.Stats.DurationMS = float64(time.Since(start).Microseconds()) / 1000
+	c.queries.Add(1)
+	return merged, nil
+}
+
+// mergeSamples k-way merges the per-shard eval samples by root key into
+// the single-engine tuple order. Shards hold disjoint root partitions
+// and each shard's sample is already root-ascending, so repeatedly
+// taking the smallest head reproduces the union engine's emission order
+// exactly; the partition invariant means two heads never tie (one root
+// value lives on one shard), but ties break to the lower shard index so
+// the merge stays deterministic even over a mispartitioned fleet.
+func mergeSamples(resps []*server.Response, limit int) [][]int64 {
+	heads := make([]int, len(resps))
+	var out [][]int64
+	for len(out) < limit {
+		best := -1
+		for j, r := range resps {
+			if heads[j] >= len(r.Tuples) {
+				continue
+			}
+			if best == -1 || r.Tuples[heads[j]][0] < resps[best].Tuples[heads[best]][0] {
+				best = j
+			}
+		}
+		if best == -1 {
+			break
+		}
+		out = append(out, resps[best].Tuples[heads[best]])
+		heads[best]++
+	}
+	return out
+}
+
+// UpdateResponse is the merged result of one routed update fan-out.
+type UpdateResponse struct {
+	// Relation echoes the mutated relation.
+	Relation string `json:"relation"`
+	// Applied reports whether any shard applied a net change.
+	Applied bool `json:"applied"`
+	// Tuples is the relation's cardinality summed over the shards that
+	// received part of the delta (not the whole fleet).
+	Tuples int `json:"tuples"`
+	// Shards maps each touched shard's name to its own update result.
+	Shards map[string]*server.UpdateResult `json:"shards"`
+}
+
+// Update routes one delta the same way the partitioner routed the base
+// data — each tuple to the shard its first attribute hashes to — and
+// applies the per-shard sub-deltas concurrently. Only shards receiving
+// tuples are touched (an empty delta probes the whole fleet so an
+// unknown relation fails identically to a single engine). A shard
+// failure surfaces as a typed ShardError; the delta may then be applied
+// on some shards only, and retrying the same request converges — set
+// semantics make the re-application of the already-applied sub-deltas a
+// version-preserving no-op.
+func (c *Coordinator) Update(ctx context.Context, req server.UpdateRequest) (*UpdateResponse, error) {
+	parts, err := SplitUpdate(req, c.routing.Shards)
+	if err != nil {
+		return nil, err
+	}
+	var idxs []int
+	for i, p := range parts {
+		if len(p.Inserts) > 0 || len(p.Deletes) > 0 {
+			idxs = append(idxs, i)
+		}
+	}
+	if idxs == nil {
+		idxs = c.allShards()
+	}
+	results := make([]*server.UpdateResult, len(c.shards))
+	err = c.each(ctx, idxs, "update", func(ctx context.Context, i int) error {
+		res, err := c.shards[i].Update(ctx, parts[i])
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &UpdateResponse{Relation: req.Relation, Shards: make(map[string]*server.UpdateResult, len(idxs))}
+	for _, i := range idxs {
+		res := results[i]
+		out.Applied = out.Applied || res.Applied
+		out.Tuples += res.Tuples
+		out.Shards[c.shards[i].Name()] = res
+	}
+	c.updates.Add(1)
+	return out, nil
+}
+
+// ShardStats pairs one shard's name with its engine-lifetime stats.
+type ShardStats struct {
+	Shard string             `json:"shard"`
+	Stats server.EngineStats `json:"stats"`
+}
+
+// Stats is the coordinator's merged view of the fleet, served by the
+// coordinator's GET /stats.
+type Stats struct {
+	// Shards is the fleet size.
+	Shards int `json:"shards"`
+	// Queries and Updates count coordinator-served merges and routed
+	// deltas (the per-shard stats count their local executions).
+	Queries int64 `json:"queries"`
+	Updates int64 `json:"updates"`
+	// SnapshotRejects counts merges refused because a shard's version
+	// vector moved between the handshake and its execution;
+	// NotShardable counts queries refused by the routing rule.
+	SnapshotRejects int64 `json:"snapshot_rejects"`
+	NotShardable    int64 `json:"not_shardable"`
+	// Routes describes the routing cache.
+	Routes RouteCacheStats `json:"routes"`
+	// Lifetime is the exact stats.Counters fold of every shard's
+	// lifetime counters — the same Merge the in-process parallel engine
+	// uses, so the fleet's total work reads like one engine's.
+	Lifetime stats.Counters `json:"lifetime"`
+	// PerShard inventories the fleet in partition order.
+	PerShard []ShardStats `json:"per_shard"`
+}
+
+// Stats snapshots every shard's engine stats concurrently and folds
+// their lifetime counters exactly.
+func (c *Coordinator) Stats(ctx context.Context) (*Stats, error) {
+	per := make([]*server.EngineStats, len(c.shards))
+	err := c.each(ctx, c.allShards(), "stats", func(ctx context.Context, i int) error {
+		st, err := c.shards[i].Stats(ctx)
+		if err != nil {
+			return err
+		}
+		per[i] = st
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := &Stats{
+		Shards:          len(c.shards),
+		Queries:         c.queries.Load(),
+		Updates:         c.updates.Load(),
+		SnapshotRejects: c.snapshotRejects.Load(),
+		NotShardable:    c.notShardable.Load(),
+		Routes:          c.routes.stats(),
+	}
+	for i, st := range per {
+		out.Lifetime.Merge(&st.Lifetime)
+		out.PerShard = append(out.PerShard, ShardStats{Shard: c.shards[i].Name(), Stats: *st})
+	}
+	return out, nil
+}

@@ -1,0 +1,218 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/server"
+)
+
+// streamMergeBuffer is the per-shard row buffer of the stream merge: a
+// shard whose next root blocks are not yet due keeps producing this far
+// ahead instead of lock-stepping with the merge head.
+const streamMergeBuffer = 64
+
+// shardStream is one producer of the k-way merge. sum and err are
+// written by the producer goroutine before done closes and read only
+// after it — the close is the publication barrier.
+type shardStream struct {
+	shard int
+	hdr   chan []string
+	rows  chan []int64
+	done  chan struct{}
+	sum   server.StreamSummary
+	err   error
+	// head/ok are merge-loop state, touched only by the coordinator.
+	head []int64
+	ok   bool
+}
+
+// StreamCtx executes one streaming eval across the fleet: every routed
+// shard streams concurrently, and the coordinator k-way merges the
+// per-shard rows by root key — exactness again rests on the partition
+// invariant (disjoint root partitions, each shard root-ascending), so
+// the merged row sequence is byte-identical to a single engine
+// streaming the union. header fires once with the common variable
+// order, then row per merged tuple (reused slice — copy to retain;
+// return false to stop, which cancels every shard's scan). Limits match
+// Engine.StreamCtx: a positive limit stops the merged enumeration early
+// with Truncated set; 0 or negative streams everything.
+//
+// The snapshot handshake brackets the stream: versions are collected
+// before fan-out and re-checked after the last row, and a moved vector
+// fails the stream with ErrSnapshotMoved — rows already delivered
+// cannot be unsent, so the error arrives as the stream's terminal
+// status (the NDJSON trailer over HTTP).
+func (c *Coordinator) StreamCtx(ctx context.Context, req server.Request, header func(order []string), row func(mu []int64) bool) (server.StreamSummary, error) {
+	req, err := c.prepare(req)
+	if err != nil {
+		return server.StreamSummary{}, err
+	}
+	rt, err := c.resolve(ctx, req)
+	if err != nil {
+		return server.StreamSummary{}, err
+	}
+	sreq := req
+	sreq.Mode = ""
+
+	idxs := rt.route.Shards
+	if len(idxs) == 1 {
+		// No merge, so no cross-shard order or snapshot constraints: the
+		// one shard's own snapshot pin already makes its stream exact.
+		i := idxs[0]
+		hdr := func(order []string) {
+			c.routes.learn(rt.key, order)
+			if header != nil {
+				header(order)
+			}
+		}
+		sum, err := c.shards[i].Stream(ctx, sreq, hdr, row)
+		if err != nil {
+			return sum, c.shardErr(i, "stream", err)
+		}
+		c.queries.Add(1)
+		return sum, nil
+	}
+
+	sctx, cancel := context.WithCancel(ctx)
+	streams := make([]*shardStream, len(idxs))
+	for j, i := range idxs {
+		s := &shardStream{
+			shard: i,
+			hdr:   make(chan []string, 1),
+			rows:  make(chan []int64, streamMergeBuffer),
+			done:  make(chan struct{}),
+		}
+		streams[j] = s
+		go func(s *shardStream) {
+			s.sum, s.err = c.shards[s.shard].Stream(sctx, sreq,
+				func(order []string) { s.hdr <- order },
+				func(mu []int64) bool {
+					cp := append([]int64(nil), mu...)
+					select {
+					case s.rows <- cp:
+						return true
+					case <-sctx.Done():
+						return false
+					}
+				})
+			close(s.rows)
+			close(s.hdr)
+			close(s.done)
+		}(s)
+	}
+	// Every exit path cancels the in-flight scans and waits for the
+	// producers — no goroutine outlives the merge.
+	defer func() {
+		cancel()
+		for _, s := range streams {
+			<-s.done
+		}
+	}()
+
+	// Header barrier: a successful shard stream announces its variable
+	// order before its first row, so waiting on every header (or the
+	// stream's early death) costs no row latency and lets order
+	// divergence fail the stream before anything is delivered.
+	orders := make([][]string, len(streams))
+	for j, s := range streams {
+		order, ok := <-s.hdr
+		if !ok {
+			<-s.done
+			err := s.err
+			if err == nil {
+				err = fmt.Errorf("stream ended before announcing its variable order")
+			}
+			return server.StreamSummary{}, c.shardErr(s.shard, "stream", err)
+		}
+		orders[j] = order
+	}
+	order, err := c.checkOrders(rt, orders)
+	if err != nil {
+		return server.StreamSummary{}, err
+	}
+	if header != nil {
+		header(order)
+	}
+
+	// Postflight: the stream wire format carries no version vector (it
+	// must stay byte-identical to a single engine's), so consistency is
+	// re-checked out of band after the rows. An update landing after a
+	// shard's scan finished but before this probe is indistinguishable
+	// from one landing mid-scan; the check is conservative and rejects
+	// both.
+	postflight := func() error {
+		for _, i := range idxs {
+			post, err := c.shards[i].Versions(ctx, rt.names)
+			if err != nil {
+				return c.shardErr(i, "versions", err)
+			}
+			pre := rt.vecs[i]
+			for _, name := range rt.names {
+				if post[name] != pre[name] {
+					c.snapshotRejects.Add(1)
+					return fmt.Errorf("%w: shard %s relation %q advanced %d -> %d during the stream",
+						ErrSnapshotMoved, c.shards[i].Name(), name, pre[name], post[name])
+				}
+			}
+		}
+		return nil
+	}
+
+	// K-way merge by root key. advance blocks on the shard's next row;
+	// the disjoint-partition invariant keeps heads tie-free, and ties
+	// (a mispartitioned fleet) break to the lower position so the merge
+	// stays deterministic.
+	advance := func(s *shardStream) { s.head, s.ok = <-s.rows }
+	for _, s := range streams {
+		advance(s)
+	}
+	var sum server.StreamSummary
+	limit := int64(req.Limit)
+	for {
+		best := -1
+		for j, s := range streams {
+			if !s.ok {
+				continue
+			}
+			if best == -1 || s.head[0] < streams[best].head[0] {
+				best = j
+			}
+		}
+		if best == -1 {
+			break
+		}
+		if limit > 0 && sum.Count >= limit {
+			// A row beyond the limit exists; the enumeration is truncated
+			// as a fact, exactly as Engine.StreamCtx decides it. The
+			// delivered prefix is still a merged answer, so it keeps the
+			// snapshot guarantee.
+			sum.Truncated = true
+			if err := postflight(); err != nil {
+				return sum, err
+			}
+			c.queries.Add(1)
+			return sum, nil
+		}
+		sum.Count++
+		if !row(streams[best].head) {
+			return sum, nil // consumer stop: normal completion, no guarantee owed
+		}
+		advance(streams[best])
+	}
+
+	// All shards drained. A shard that stopped at its own limit proves a
+	// row beyond the merged prefix even though no head remains.
+	for _, s := range streams {
+		<-s.done
+		if s.err != nil {
+			return sum, c.shardErr(s.shard, "stream", s.err)
+		}
+		sum.Truncated = sum.Truncated || s.sum.Truncated
+	}
+	if err := postflight(); err != nil {
+		return sum, err
+	}
+	c.queries.Add(1)
+	return sum, nil
+}

@@ -1,0 +1,126 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/relation"
+)
+
+// TestCloseIdempotent: Close must be safe to layer — a daemon's
+// shutdown path, a deferred cleanup and a harness teardown may each
+// close the same engine, and an engine without a data directory has no
+// persistent store at all.
+func TestCloseIdempotent(t *testing.T) {
+	t.Run("memory-only", func(t *testing.T) {
+		e := NewEngine(testDB(), Config{})
+		if _, err := e.Do(Request{Query: "E(x,y)"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("first close of a memory-only engine: %v", err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("second close: %v", err)
+		}
+	})
+	t.Run("persistent", func(t *testing.T) {
+		dir := t.TempDir()
+		load := func() (*relation.DB, error) { return testDB(), nil }
+		e, warm, err := OpenEngine(Config{DataDir: dir}, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if warm {
+			t.Fatal("fresh directory booted warm")
+		}
+		if _, err := e.Do(Request{Query: "E(x,y)"}); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("first close: %v", err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatalf("second close: %v", err)
+		}
+		// The directory is releasable: a warm reboot (and its own
+		// double-close) still works after the layered closes above.
+		e2, warm, err := OpenEngine(Config{DataDir: dir}, load)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !warm {
+			t.Fatal("populated directory booted cold")
+		}
+		if err := e2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e2.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	t.Run("open-engine-no-datadir", func(t *testing.T) {
+		e, warm, err := OpenEngine(Config{}, func() (*relation.DB, error) { return testDB(), nil })
+		if err != nil || warm {
+			t.Fatalf("OpenEngine without data dir: warm=%v err=%v", warm, err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.Close(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}
+
+// TestGateReadiness: before Set every path answers 503 with the
+// "starting" readiness body on /healthz; after Set traffic flows to the
+// live handler and /healthz reports ready.
+func TestGateReadiness(t *testing.T) {
+	gate := NewGate()
+	if gate.Ready() {
+		t.Fatal("fresh gate reports ready")
+	}
+	srv := httptest.NewServer(gate)
+	defer srv.Close()
+
+	res, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable || body["status"] != "starting" {
+		t.Fatalf("booting /healthz: %d %v, want 503 starting", res.StatusCode, body)
+	}
+	res, err = http.Post(srv.URL+"/query", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("booting /query: %d, want 503", res.StatusCode)
+	}
+
+	gate.Set(NewHandler(NewEngine(testDB(), Config{})))
+	if !gate.Ready() {
+		t.Fatal("gate not ready after Set")
+	}
+	res, err = http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body = nil
+	if err := json.NewDecoder(res.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	res.Body.Close()
+	if res.StatusCode != http.StatusOK || body["ready"] != true {
+		t.Fatalf("ready /healthz: %d %v, want 200 ready", res.StatusCode, body)
+	}
+}

@@ -159,6 +159,7 @@ type Engine struct {
 	life    stats.Locked
 	queries atomic.Int64
 	updates atomic.Int64
+	closed  atomic.Bool
 	started time.Time
 }
 
@@ -362,9 +363,16 @@ func bootRelation(pdb *store.DB, name string, cfg Config) (*relation.Store, erro
 
 // Close releases the persistence layer: WAL handles and every mmap'd
 // snapshot. It must run only after in-flight queries have drained (live
-// iterators read the mapped pages directly); for memory-only engines it
-// is a no-op. The engine must not be used afterwards.
+// iterators read the mapped pages directly); for memory-only engines
+// (nil persistent store) it is a no-op. Close is idempotent — the first
+// call releases, every later call returns nil — so layered owners (a
+// daemon's shutdown path and a defer, a shard harness tearing down a
+// fleet) can each close defensively. The engine must not be used after
+// the first Close.
 func (e *Engine) Close() error {
+	if e.closed.Swap(true) {
+		return nil
+	}
 	if e.pdb == nil {
 		return nil
 	}
@@ -387,14 +395,46 @@ func (e *Engine) snapshot() (*relation.DB, uint64) {
 }
 
 // snapshotFor is snapshot plus the version sub-vector of the given
-// (sorted) relation names, rendered under the same verMu hold — so the
-// plan-cache key a query assembles always describes exactly the
-// snapshot it will execute against, atomically with respect to Update's
-// install step.
-func (e *Engine) snapshotFor(names []string) (*relation.DB, string, uint64) {
+// (sorted) relation names — rendered as the plan-cache key string and as
+// the name→number map a response reports — under the same verMu hold, so
+// the vector a query assembles always describes exactly the snapshot it
+// will execute against, atomically with respect to Update's install step.
+func (e *Engine) snapshotFor(names []string) (*relation.DB, string, map[string]uint64, uint64) {
 	e.verMu.Lock()
 	defer e.verMu.Unlock()
-	return e.db, versionVector(names, e.versions), e.epochs.enter()
+	nums := make(map[string]uint64, len(names))
+	for _, name := range names {
+		if v, ok := e.versions[name]; ok {
+			nums[name] = v.Num
+		}
+	}
+	return e.db, versionVector(names, e.versions), nums, e.epochs.enter()
+}
+
+// VersionNumbers returns the current version number of each named
+// relation (unknown names are omitted), atomically with respect to
+// Update's install step. A distributed coordinator uses it as the
+// consistent-snapshot handshake: collect each shard's vector before
+// fanning a query out, compare it to the vector the response executed
+// at, and reject the merge if any shard's vector moved mid-query. With
+// names == nil, every relation's version is returned.
+func (e *Engine) VersionNumbers(names []string) map[string]uint64 {
+	e.verMu.Lock()
+	defer e.verMu.Unlock()
+	if names == nil {
+		nums := make(map[string]uint64, len(e.versions))
+		for name, v := range e.versions {
+			nums[name] = v.Num
+		}
+		return nums
+	}
+	nums := make(map[string]uint64, len(names))
+	for _, name := range names {
+		if v, ok := e.versions[name]; ok {
+			nums[name] = v.Num
+		}
+	}
+	return nums
 }
 
 // finish exits the query's epoch and releases any superseded versions
@@ -646,6 +686,12 @@ type Response struct {
 	Tuples [][]int64 `json:"tuples,omitempty"`
 	// Truncated reports that eval found more tuples than Limit.
 	Truncated bool `json:"truncated,omitempty"`
+	// Versions is the version sub-vector the query executed at: the
+	// version number of each relation it touches, in the consistent
+	// snapshot the execution pinned. A distributed coordinator compares
+	// it against the vector it collected before fanning out to detect a
+	// shard whose data moved mid-query.
+	Versions map[string]uint64 `json:"versions,omitempty"`
 	// Stats is the query's private accounting.
 	Stats QueryStats `json:"stats"`
 }
@@ -930,7 +976,7 @@ func (e *Engine) exec(ctx context.Context, q *cq.Query, text string, names []str
 		defer cancel()
 	}
 
-	db, vec, ep := e.snapshotFor(names)
+	db, vec, nums, ep := e.snapshotFor(names)
 	defer e.finish(ep)
 
 	// Lifetime counters absorb the work actually performed even when
@@ -944,7 +990,7 @@ func (e *Engine) exec(ctx context.Context, q *cq.Query, text string, names []str
 	if err != nil {
 		return nil, err
 	}
-	resp := &Response{Order: plan.Order()}
+	resp := &Response{Order: plan.Order(), Versions: nums}
 	resp.Stats.PlanCached = cached
 
 	// levels collects the per-depth intersection tallies of count/eval

@@ -1,0 +1,47 @@
+package server
+
+import (
+	"net/http"
+	"sync/atomic"
+)
+
+// Gate is the readiness front door of a daemon. A persistent engine can
+// take a while to boot — mmap verification sweeps, WAL replay, a
+// coordinator waiting to admit its shards — and a load balancer (or a
+// coordinator probing a shard) needs an address that answers during
+// that window. The daemon binds its listener immediately and serves the
+// Gate; until Set installs the real handler every request answers 503
+// ("starting"), including GET /healthz — the readiness semantics a
+// probe loop keys on. Once Set runs, all traffic flows to the installed
+// handler and GET /healthz answers 200 from the engine.
+//
+// Set may be called once, from any goroutine; requests racing it see
+// either the 503 or the live handler, never an inconsistent mix.
+type Gate struct {
+	h atomic.Pointer[http.Handler]
+}
+
+// NewGate returns a gate with no handler installed: every request
+// answers 503 until Set.
+func NewGate() *Gate { return &Gate{} }
+
+// Set installs the live handler, flipping the gate to ready.
+func (g *Gate) Set(h http.Handler) { g.h.Store(&h) }
+
+// Ready reports whether Set has installed the live handler.
+func (g *Gate) Ready() bool { return g.h.Load() != nil }
+
+// ServeHTTP delegates to the installed handler, or answers 503 while
+// booting. The not-ready /healthz body carries {"status": "starting"}
+// so probes can tell "booting" from "down" (connection refused).
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	if h := g.h.Load(); h != nil {
+		(*h).ServeHTTP(w, r)
+		return
+	}
+	if r.URL.Path == "/healthz" {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "starting"})
+		return
+	}
+	writeJSON(w, http.StatusServiceUnavailable, map[string]string{"error": "engine is still booting (warm restart in progress); retry shortly"})
+}

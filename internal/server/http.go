@@ -102,9 +102,15 @@ func NewHandler(e *Engine) http.Handler {
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, e.Stats())
 	})
+	// Readiness, not just liveness: this handler only exists once the
+	// engine has finished booting, so the 200 means "serving". During a
+	// warm boot (mmap verification, WAL replay) the daemon answers 503
+	// through the Gate instead — a coordinator uses the transition to
+	// gate shard admission.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]any{
 			"status":  "ok",
+			"ready":   true,
 			"queries": e.queries.Load(),
 		})
 	})

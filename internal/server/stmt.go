@@ -86,7 +86,7 @@ func (e *Engine) Prepare(req Request) (*Stmt, error) {
 	// Compile once now: surfaces plan errors at prepare time and leaves
 	// the plan resident for the first execution. The work is merged
 	// into the lifetime counters either way — it happened.
-	db, vec, ep := e.snapshotFor(s.names)
+	db, vec, _, ep := e.snapshotFor(s.names)
 	var c stats.Counters
 	_, _, _, err = e.planFor(q, s.text, s.names, vec, db, s.def, &c)
 	e.finish(ep)
@@ -268,7 +268,7 @@ func (s *Stmt) stream(ctx context.Context, req Request, header func(order []stri
 		defer cancel()
 	}
 
-	db, vec, ep := s.e.snapshotFor(s.names)
+	db, vec, _, ep := s.e.snapshotFor(s.names)
 	defer s.e.finish(ep)
 
 	// As in exec: lifetime counters absorb the work even when the

@@ -1,0 +1,159 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// randCounters fills every int64 field via reflection, so a field added
+// to Counters later is automatically covered — and if Add/Merge forgets
+// to fold it, the field-wise sum property below fails loudly.
+func randCounters(rng *rand.Rand) *Counters {
+	var c Counters
+	v := reflect.ValueOf(&c).Elem()
+	for i := 0; i < v.NumField(); i++ {
+		if v.Field(i).Kind() == reflect.Int64 {
+			v.Field(i).SetInt(rng.Int63n(1 << 20))
+		}
+	}
+	return &c
+}
+
+func mergeAll(parts ...*Counters) Counters {
+	var out Counters
+	out.Merge(parts...)
+	return out
+}
+
+// TestMergeIsFieldwiseSum: Merge must fold every counter field — no
+// field is dropped, none double-counted. Checked by reflection against
+// the struct definition itself.
+func TestMergeIsFieldwiseSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 100; trial++ {
+		a, b := randCounters(rng), randCounters(rng)
+		got := reflect.ValueOf(mergeAll(a, b))
+		va, vb := reflect.ValueOf(*a), reflect.ValueOf(*b)
+		for i := 0; i < got.NumField(); i++ {
+			if got.Field(i).Kind() != reflect.Int64 {
+				continue
+			}
+			want := va.Field(i).Int() + vb.Field(i).Int()
+			if got.Field(i).Int() != want {
+				t.Fatalf("field %s: merge = %d, want %d", got.Type().Field(i).Name, got.Field(i).Int(), want)
+			}
+		}
+	}
+}
+
+// TestMergeAssociativeCommutative: the fold order of per-worker (or
+// per-shard) counters must never matter — the distributed tier merges
+// shard counters in whatever order responses land.
+func TestMergeAssociativeCommutative(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		a, b, c := randCounters(rng), randCounters(rng), randCounters(rng)
+
+		ab := mergeAll(a, b)
+		abThenC := mergeAll(&ab, c)
+		bc := mergeAll(b, c)
+		aThenBC := mergeAll(a, &bc)
+		if abThenC != aThenBC {
+			t.Fatalf("associativity: (a+b)+c = %+v, a+(b+c) = %+v", abThenC, aThenBC)
+		}
+
+		if mergeAll(a, b) != mergeAll(b, a) {
+			t.Fatal("commutativity: a+b != b+a")
+		}
+
+		var zero Counters
+		if mergeAll(a, &zero) != *a {
+			t.Fatal("identity: a+0 != a")
+		}
+	}
+}
+
+// TestMergeOfSplitsEqualsUnsplit is the distributed-exactness property:
+// splitting one run's accounting into arbitrary disjoint parts (per
+// worker, per shard) and merging the parts gives exactly the unsplit
+// totals. This is what lets the coordinator report fleet-wide counters
+// indistinguishable from one engine having done all the work.
+func TestMergeOfSplitsEqualsUnsplit(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 100; trial++ {
+		whole := randCounters(rng)
+		// Split every field's value across k parts at random cut points.
+		k := 2 + rng.Intn(5)
+		parts := make([]*Counters, k)
+		for i := range parts {
+			parts[i] = &Counters{}
+		}
+		vw := reflect.ValueOf(whole).Elem()
+		for f := 0; f < vw.NumField(); f++ {
+			if vw.Field(f).Kind() != reflect.Int64 {
+				continue
+			}
+			rest := vw.Field(f).Int()
+			for i := 0; i < k-1; i++ {
+				cut := rng.Int63n(rest + 1)
+				reflect.ValueOf(parts[i]).Elem().Field(f).SetInt(cut)
+				rest -= cut
+			}
+			reflect.ValueOf(parts[k-1]).Elem().Field(f).SetInt(rest)
+		}
+		if got := mergeAll(parts...); got != *whole {
+			t.Fatalf("merge of %d splits = %+v, unsplit = %+v", k, got, *whole)
+		}
+	}
+}
+
+// TestLockedMergeConcurrentExact: Locked.Merge folds concurrent
+// contributions exactly — the lifetime totals of a busy engine equal
+// the sequential fold of every query's private counters, regardless of
+// interleaving.
+func TestLockedMergeConcurrentExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const workers = 8
+	const perWorker = 50
+	contributions := make([][]*Counters, workers)
+	for w := range contributions {
+		for i := 0; i < perWorker; i++ {
+			contributions[w] = append(contributions[w], randCounters(rng))
+		}
+	}
+
+	var life Locked
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for _, c := range contributions[w] {
+				life.Merge(c)
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	var want Counters
+	for _, batch := range contributions {
+		want.Merge(batch...)
+	}
+	if got := life.Snapshot(); got != want {
+		t.Fatalf("concurrent lifetime fold = %+v, sequential fold = %+v", got, want)
+	}
+
+	// nil receivers and nil parts stay no-ops (the documented contract).
+	var nilLocked *Locked
+	nilLocked.Merge(&want)
+	if nilLocked.Snapshot() != (Counters{}) {
+		t.Fatal("nil Locked snapshot not zero")
+	}
+	before := life.Snapshot()
+	life.Merge(nil, nil)
+	if life.Snapshot() != before {
+		t.Fatal("nil contributions changed the totals")
+	}
+}
