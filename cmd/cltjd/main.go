@@ -38,7 +38,17 @@
 //	      [-compact-fraction F] [-plan-cache N] [-max-prepared N] [-drain DUR]
 //	      [-shard i/n]
 //	cltjd -coordinator -shards host1:8372,host2:8372 [-addr :8372]
-//	      [-admit DUR] [-shard-timeout DUR] [-drain DUR]
+//	      [-admit DUR] [-shard-timeout DUR] [-hedge DUR] [-drain DUR]
+//
+// A partition may be served by several replicas holding the same data
+// slice, grouped with "|": -shards a1:8372|a2:8372,b:8372 makes
+// partition 0 a two-replica group. Reads fail over between replicas
+// (optionally hedged after -hedge), updates fan out to all of them, and
+// a per-endpoint circuit breaker fails fast on proven-dead endpoints.
+// Requests carrying "allow_partial": true may be answered from the
+// surviving partitions when others are down — flagged "partial": true
+// with the missing shards named, never silently wrong (see
+// docs/OPERATIONS.md for the degraded-mode runbook).
 //
 // Endpoints (see internal/server for the wire format):
 //
@@ -121,9 +131,10 @@ func main() {
 	drainFlag := flag.Duration("drain", 10*time.Second, "graceful-shutdown budget for in-flight queries on SIGINT/SIGTERM")
 	shardFlag := flag.String("shard", "", "serve one hash partition of the dataset: -shard i/n keeps only the tuples whose first attribute hashes to partition i of n (cluster shard mode)")
 	coordFlag := flag.Bool("coordinator", false, "serve as a scatter–gather coordinator over -shards instead of loading data")
-	shardsFlag := flag.String("shards", "", "coordinator mode: comma-separated shard daemon addresses, in partition order")
+	shardsFlag := flag.String("shards", "", "coordinator mode: comma-separated shard groups in partition order; a group is one address or |-separated replica addresses holding the same partition (a1|a2,b)")
 	admitFlag := flag.Duration("admit", 2*time.Minute, "coordinator mode: how long to wait for every shard to answer its readiness probe before serving")
 	shardTimeoutFlag := flag.Duration("shard-timeout", cluster.DefaultShardTimeout, "coordinator mode: per-shard request timeout for buffered operations")
+	hedgeFlag := flag.Duration("hedge", 0, "coordinator mode: launch a buffered read on the next replica after this delay without an answer (0 = no hedging; only replica groups hedge)")
 	flag.Parse()
 	if !core.Orderer(*ordererFlag).Valid() {
 		log.Fatalf("cltjd: unknown -orderer %q (want cost, greedy or adaptive)", *ordererFlag)
@@ -146,18 +157,18 @@ func main() {
 
 	var engine *server.Engine
 	if *coordFlag {
-		addrs := strings.Split(*shardsFlag, ",")
-		for i := range addrs {
-			addrs[i] = strings.TrimSpace(addrs[i])
-		}
-		if *shardsFlag == "" || len(addrs) == 0 {
-			log.Fatalln("cltjd: -coordinator requires -shards host1,host2,... (partition order)")
-		}
-		coord, err := cluster.NewHTTP(addrs, cluster.ClientConfig{Timeout: *shardTimeoutFlag}, cluster.Config{})
+		groups, err := parseShardGroups(*shardsFlag)
 		if err != nil {
 			log.Fatalln("cltjd:", err)
 		}
-		log.Printf("cltjd coordinator on %s: waiting up to %s for %d shards to become ready", *addr, *admitFlag, len(addrs))
+		coord, err := cluster.NewHTTPFleet(groups,
+			cluster.ClientConfig{Timeout: *shardTimeoutFlag},
+			cluster.ReplicaConfig{Hedge: *hedgeFlag},
+			cluster.Config{})
+		if err != nil {
+			log.Fatalln("cltjd:", err)
+		}
+		log.Printf("cltjd coordinator on %s: waiting up to %s for %d shards to become ready", *addr, *admitFlag, len(groups))
 		admitCtx, cancel := context.WithTimeout(ctx, *admitFlag)
 		err = coord.WaitReady(admitCtx)
 		cancel()
@@ -165,7 +176,7 @@ func main() {
 			log.Fatalln("cltjd:", err)
 		}
 		gate.Set(cluster.NewHandler(coord))
-		log.Printf("cltjd coordinator serving %d shards on %s (POST /query, POST /update, GET /stats, GET /healthz)", len(addrs), *addr)
+		log.Printf("cltjd coordinator serving %d shards on %s (POST /query, POST /update, GET /stats, GET /healthz)", len(groups), *addr)
 	} else {
 		shardIdx, shardTotal, err := parseShard(*shardFlag)
 		if err != nil {
@@ -247,6 +258,29 @@ func main() {
 		log.Printf("cltjd: closing data dir: %v", err)
 	}
 	log.Printf("cltjd: bye (%d queries served)", engine.Stats().Queries)
+}
+
+// parseShardGroups parses -shards into replica groups: partitions split
+// on "," and replicas within a partition on "|" (a1|a2,b means
+// partition 0 is served by replicas a1 and a2, partition 1 by b alone).
+func parseShardGroups(s string) ([][]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("-coordinator requires -shards host1,host2,... (partition order; a|b groups replicas)")
+	}
+	var groups [][]string
+	for _, part := range strings.Split(s, ",") {
+		var group []string
+		for _, a := range strings.Split(part, "|") {
+			if a = strings.TrimSpace(a); a != "" {
+				group = append(group, a)
+			}
+		}
+		if len(group) == 0 {
+			return nil, fmt.Errorf("bad -shards %q: empty partition group", s)
+		}
+		groups = append(groups, group)
+	}
+	return groups, nil
 }
 
 // parseShard parses -shard i/n; an empty flag means unsharded (0, 0).

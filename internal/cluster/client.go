@@ -8,10 +8,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"strings"
 	"time"
 
+	"repro/internal/faults"
 	"repro/internal/server"
 )
 
@@ -28,6 +30,25 @@ type ClientConfig struct {
 	// not idempotent. Negative disables retry; 0 uses
 	// DefaultShardRetries.
 	Retries int
+	// Backoff is the base delay before the first retry; attempt k waits
+	// Backoff·2^k scaled by a uniform jitter in [0.5, 1.5), so a fleet
+	// of retriers does not re-converge on a struggling shard in
+	// lockstep. 0 uses DefaultShardBackoff; negative disables the sleep
+	// (retries fire immediately — the pre-backoff behavior, used by
+	// tight test loops).
+	Backoff time.Duration
+	// BreakerThreshold is how many consecutive transport failures open
+	// the endpoint's circuit (requests then fail fast with
+	// ErrBreakerOpen until a half-open probe succeeds). 0 uses
+	// DefaultBreakerThreshold; negative disables the breaker.
+	BreakerThreshold int
+	// BreakerCooldown is the open-circuit rejection window before one
+	// half-open probe is admitted; 0 uses DefaultBreakerCooldown.
+	BreakerCooldown time.Duration
+	// Transport overrides the HTTP transport (nil builds the pooled
+	// default). The fault-injection harness wraps the default in a
+	// faults.Transport here; production leaves it nil.
+	Transport http.RoundTripper
 }
 
 // DefaultShardTimeout bounds one buffered shard request when the config
@@ -37,6 +58,10 @@ const DefaultShardTimeout = 30 * time.Second
 // DefaultShardRetries is the bounded retry budget for idempotent reads
 // when the config does not name one.
 const DefaultShardRetries = 2
+
+// DefaultShardBackoff is the base retry delay when the config does not
+// name one.
+const DefaultShardBackoff = 50 * time.Millisecond
 
 // Client speaks the shard protocol over the daemon's HTTP/JSON surface.
 // It keeps one transport per shard with connection reuse (the
@@ -49,6 +74,8 @@ type Client struct {
 	hc      *http.Client
 	timeout time.Duration
 	retries int
+	backoff time.Duration
+	brk     *breaker
 }
 
 // NewClient returns a shard client for addr (host:port, or a full
@@ -69,16 +96,59 @@ func NewClient(addr string, cfg ClientConfig) *Client {
 	if retries < 0 {
 		retries = 0
 	}
-	return &Client{
-		name: addr,
-		base: strings.TrimSuffix(base, "/"),
-		hc: &http.Client{Transport: &http.Transport{
+	backoff := cfg.Backoff
+	if backoff == 0 {
+		backoff = DefaultShardBackoff
+	}
+	if backoff < 0 {
+		backoff = 0
+	}
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &http.Transport{
 			MaxIdleConns:        64,
 			MaxIdleConnsPerHost: 32,
 			IdleConnTimeout:     90 * time.Second,
-		}},
+		}
+	}
+	var brk *breaker
+	if cfg.BreakerThreshold >= 0 {
+		brk = newBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
+	}
+	return &Client{
+		name:    addr,
+		base:    strings.TrimSuffix(base, "/"),
+		hc:      &http.Client{Transport: transport},
 		timeout: timeout,
 		retries: retries,
+		backoff: backoff,
+		brk:     brk,
+	}
+}
+
+// BreakerStates implements BreakerStater: the one endpoint circuit this
+// client guards.
+func (c *Client) BreakerStates() []BreakerState {
+	return []BreakerState{c.brk.snapshot(c.name)}
+}
+
+// sleepBackoff waits out the jittered exponential delay before retry
+// attempt k (0-based), or returns early with ctx's error.
+func sleepBackoff(ctx context.Context, base time.Duration, k int) error {
+	if base <= 0 {
+		return nil
+	}
+	d := base << min(k, 10)
+	// Uniform jitter in [0.5, 1.5): retriers spread out instead of
+	// re-converging on a struggling shard in lockstep.
+	d = d/2 + time.Duration(rand.Int64N(int64(d)))
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	select {
+	case <-timer.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -107,9 +177,22 @@ func (c *Client) roundTrip(ctx context.Context, method, path string, body any, o
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if attempt > 0 {
+			if err := sleepBackoff(ctx, c.backoff, attempt-1); err != nil {
+				return lastErr
+			}
+		}
+		if !c.brk.allow() {
+			// Fail fast instead of stacking timeouts on an endpoint the
+			// breaker already proved dead; retrying locally is pointless
+			// too — the circuit stays open for the whole cooldown.
+			return fmt.Errorf("%w: %s", ErrBreakerOpen, c.name)
+		}
 		lastErr = c.once(ctx, method, path, payload, out)
 		var se *StatusError
-		if lastErr == nil || errors.As(lastErr, &se) || ctx.Err() != nil {
+		answered := lastErr == nil || errors.As(lastErr, &se)
+		c.brk.record(answered)
+		if answered || ctx.Err() != nil {
 			// An HTTP-level answer is authoritative — the shard saw the
 			// request; only transport failures are worth retrying.
 			return lastErr
@@ -244,12 +327,19 @@ func (c *Client) Stream(ctx context.Context, req server.Request, header func(ord
 	if err != nil {
 		return server.StreamSummary{}, err
 	}
+	if !c.brk.allow() {
+		return server.StreamSummary{}, fmt.Errorf("%w: %s", ErrBreakerOpen, c.name)
+	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost, c.base+"/query", bytes.NewReader(payload))
 	if err != nil {
 		return server.StreamSummary{}, err
 	}
 	hreq.Header.Set("Content-Type", "application/json")
+	// The injection harness classifies requests by URL path; streams
+	// share /query with buffered reads, so the class rides a header.
+	hreq.Header.Set(faults.ClassHeader, "stream")
 	resp, err := c.hc.Do(hreq)
+	c.brk.record(err == nil)
 	if err != nil {
 		return server.StreamSummary{}, err
 	}

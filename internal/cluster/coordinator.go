@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -41,6 +42,7 @@ type Coordinator struct {
 	updates         atomic.Int64
 	snapshotRejects atomic.Int64
 	notShardable    atomic.Int64
+	partialServed   atomic.Int64
 }
 
 // New builds a coordinator over an ordered shard fleet: shards[i] must
@@ -67,11 +69,32 @@ func New(routing Routing, shards []Shard, cfg Config) (*Coordinator, error) {
 // NewHTTP builds a coordinator whose fleet is the given daemon
 // addresses, in partition order (cltjd -coordinator -shards a,b,...).
 func NewHTTP(addrs []string, ccfg ClientConfig, cfg Config) (*Coordinator, error) {
-	shards := make([]Shard, len(addrs))
+	groups := make([][]string, len(addrs))
 	for i, a := range addrs {
-		shards[i] = NewClient(a, ccfg)
+		groups[i] = []string{a}
 	}
-	return New(Routing{Shards: len(addrs)}, shards, cfg)
+	return NewHTTPFleet(groups, ccfg, ReplicaConfig{}, cfg)
+}
+
+// NewHTTPFleet builds a coordinator over replica groups in partition
+// order: groups[i] lists the interchangeable endpoints serving
+// partition i (cltjd -coordinator -shards "a1|a2,b" makes partition 0 a
+// two-replica group and partition 1 a bare endpoint). Single-endpoint
+// groups skip the replica wrapper entirely.
+func NewHTTPFleet(groups [][]string, ccfg ClientConfig, rcfg ReplicaConfig, cfg Config) (*Coordinator, error) {
+	shards := make([]Shard, len(groups))
+	for i, g := range groups {
+		if len(g) == 1 {
+			shards[i] = NewClient(g[0], ccfg)
+			continue
+		}
+		reps := make([]Shard, len(g))
+		for j, a := range g {
+			reps[j] = NewClient(a, ccfg)
+		}
+		shards[i] = NewReplicaSet(reps, rcfg)
+	}
+	return New(Routing{Shards: len(groups)}, shards, cfg)
 }
 
 // Routing returns the partitioning descriptor the coordinator routes by.
@@ -146,23 +169,88 @@ func (c *Coordinator) each(ctx context.Context, idxs []int, op string, f func(ct
 	return first
 }
 
+// eachPartial is each without the cancellation: every shard runs to
+// completion because partial mode wants every survivor's answer, not
+// the fastest failure. It returns the per-index outcomes aligned with
+// idxs (nil entries succeeded), each failure wrapped as a ShardError.
+func (c *Coordinator) eachPartial(ctx context.Context, idxs []int, op string, f func(ctx context.Context, shard int) error) []error {
+	errs := make([]error, len(idxs))
+	done := make(chan struct{}, len(idxs))
+	for j, i := range idxs {
+		go func(j, i int) {
+			if err := f(ctx, i); err != nil {
+				errs[j] = c.shardErr(i, op, err)
+			}
+			done <- struct{}{}
+		}(j, i)
+	}
+	for range idxs {
+		<-done
+	}
+	return errs
+}
+
+// tolerable reports whether err is the kind of shard failure
+// allow_partial may absorb — the shard (or every path to it) is down,
+// so the query can proceed over the survivors. Context outcomes,
+// snapshot rejections, routing refusals and shard-side 4xx answers are
+// about the request or the merge, not the shard's health: dropping the
+// shard would not make them right, so they fail the whole query.
+func tolerable(ctx context.Context, err error) bool {
+	if err == nil || ctx.Err() != nil {
+		return false
+	}
+	if errors.Is(err, ErrSnapshotMoved) || errors.Is(err, ErrNotShardable) {
+		return false
+	}
+	var se *StatusError
+	if errors.As(err, &se) && se.Status < 500 {
+		return false
+	}
+	return true
+}
+
 // preflight collects every shard's full version vector concurrently —
 // the first half of the consistent-snapshot handshake. The returned
-// slice is indexed by shard.
-func (c *Coordinator) preflight(ctx context.Context) ([]map[string]uint64, error) {
+// slice is indexed by shard. In partial mode a tolerable per-shard
+// failure marks that shard missing instead of failing the handshake
+// (its vecs entry stays nil); a fleet with no live shard at all still
+// fails.
+func (c *Coordinator) preflight(ctx context.Context, partial bool) ([]map[string]uint64, []int, error) {
 	vecs := make([]map[string]uint64, len(c.shards))
-	err := c.each(ctx, c.allShards(), "versions", func(ctx context.Context, i int) error {
+	collect := func(ctx context.Context, i int) error {
 		v, err := c.shards[i].Versions(ctx, nil)
 		if err != nil {
 			return err
 		}
 		vecs[i] = v
 		return nil
-	})
-	if err != nil {
-		return nil, err
 	}
-	return vecs, nil
+	if !partial {
+		if err := c.each(ctx, c.allShards(), "versions", collect); err != nil {
+			return nil, nil, err
+		}
+		return vecs, nil, nil
+	}
+	errs := c.eachPartial(ctx, c.allShards(), "versions", collect)
+	var missing []int
+	var firstErr error
+	for i, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !tolerable(ctx, err) {
+			return nil, nil, err
+		}
+		if firstErr == nil {
+			firstErr = err
+		}
+		missing = append(missing, i)
+	}
+	if len(missing) == len(c.shards) {
+		return nil, nil, firstErr
+	}
+	return vecs, missing, nil
 }
 
 // encodeVectors renders the global version vector — every shard's
@@ -224,44 +312,56 @@ func sortedRelNames(q *cq.Query) []string {
 // routed is one resolved execution: the route, the touched relations,
 // the expected variable order (nil until the first execution at this
 // snapshot learns it), and the preflight vectors backing the key.
+// nocache marks a degraded resolution (missing shards): the vector is
+// incomplete, so the route cache is bypassed in both directions.
 type routed struct {
-	key   routeKey
-	route RoutePlan
-	names []string
-	order []string
-	vecs  []map[string]uint64
+	key     routeKey
+	route   RoutePlan
+	names   []string
+	order   []string
+	vecs    []map[string]uint64
+	nocache bool
 }
 
 // resolve runs the preflight handshake and the route decision, serving
 // parse + route from the route cache when the global vector matches.
-func (c *Coordinator) resolve(ctx context.Context, req server.Request) (*routed, error) {
-	vecs, err := c.preflight(ctx)
+// In partial mode it also returns the shards whose preflight failed
+// tolerably (the caller subtracts them from the route).
+func (c *Coordinator) resolve(ctx context.Context, req server.Request, partial bool) (*routed, []int, error) {
+	vecs, missing, err := c.preflight(ctx, partial)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	key := routeKey{text: req.Query, opts: optsKey(req), vers: encodeVectors(vecs)}
-	if route, names, order, ok := c.routes.get(key); ok {
-		return &routed{key: key, route: route, names: names, order: order, vecs: vecs}, nil
+	var key routeKey
+	if len(missing) == 0 {
+		key = routeKey{text: req.Query, opts: optsKey(req), vers: encodeVectors(vecs)}
+		if route, names, order, ok := c.routes.get(key); ok {
+			return &routed{key: key, route: route, names: names, order: order, vecs: vecs}, nil, nil
+		}
 	}
 	q, err := cq.Parse(req.Query)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	route, err := c.routing.Route(q)
 	if err != nil {
 		c.notShardable.Add(1)
-		return nil, err
+		return nil, nil, err
 	}
 	names := sortedRelNames(q)
+	if len(missing) > 0 {
+		return &routed{route: route, names: names, vecs: vecs, nocache: true}, missing, nil
+	}
 	c.routes.put(key, route, names, nil)
-	return &routed{key: key, route: route, names: names, vecs: vecs}, nil
+	return &routed{key: key, route: route, names: names, vecs: vecs}, nil, nil
 }
 
 // checkOrders verifies the per-shard variable orders agree with each
 // other, with the cached expectation, and — on multi-shard routes —
-// lead with the partition variable the merge keys on. It returns the
-// common order.
-func (c *Coordinator) checkOrders(rt *routed, orders [][]string) ([]string, error) {
+// lead with the partition variable the merge keys on. idxs aligns
+// orders with the shards that actually answered (in partial mode a
+// subset of the route). It returns the common order.
+func (c *Coordinator) checkOrders(rt *routed, idxs []int, orders [][]string) ([]string, error) {
 	want := rt.order
 	for j, ord := range orders {
 		if want == nil {
@@ -270,7 +370,7 @@ func (c *Coordinator) checkOrders(rt *routed, orders [][]string) ([]string, erro
 		}
 		if !equalStrings(want, ord) {
 			return nil, &ShardError{
-				Shard: c.shards[rt.route.Shards[j]].Name(),
+				Shard: c.shards[idxs[j]].Name(),
 				Op:    "merge",
 				Err:   fmt.Errorf("variable order %v diverges from %v — shards must plan identically", ord, want),
 			}
@@ -279,13 +379,15 @@ func (c *Coordinator) checkOrders(rt *routed, orders [][]string) ([]string, erro
 	if len(rt.route.Shards) > 1 {
 		if len(want) == 0 || want[0] != rt.route.Var {
 			return nil, &ShardError{
-				Shard: c.shards[rt.route.Shards[0]].Name(),
+				Shard: c.shards[idxs[0]].Name(),
 				Op:    "merge",
 				Err:   fmt.Errorf("variable order %v does not lead with partition variable %q", want, rt.route.Var),
 			}
 		}
 	}
-	c.routes.learn(rt.key, want)
+	if !rt.nocache {
+		c.routes.learn(rt.key, want)
+	}
 	return want, nil
 }
 
@@ -337,7 +439,8 @@ func (c *Coordinator) Do(ctx context.Context, req server.Request) (*server.Respo
 	if req.Mode == "stream" {
 		return nil, fmt.Errorf("cluster: mode \"stream\" has no buffered response — use Coordinator.StreamCtx or POST /query over HTTP")
 	}
-	rt, err := c.resolve(ctx, req)
+	partial := req.AllowPartial
+	rt, preMissing, err := c.resolve(ctx, req, partial)
 	if err != nil {
 		return nil, err
 	}
@@ -355,17 +458,57 @@ func (c *Coordinator) Do(ctx context.Context, req server.Request) (*server.Respo
 		sreq.Limit = limit
 	}
 
-	idxs := rt.route.Shards
+	// Only shards the route needs count as missing: a dead shard outside
+	// the route leaves a single-shard answer exact, not partial.
+	missingSet := make(map[int]bool, len(preMissing))
+	for _, i := range preMissing {
+		missingSet[i] = true
+	}
+	var idxs []int
+	var firstDead error
+	for _, i := range rt.route.Shards {
+		if !missingSet[i] {
+			idxs = append(idxs, i)
+		} else if firstDead == nil {
+			firstDead = c.shardErr(i, "query", errors.New("no live endpoint for partition"))
+		}
+	}
+	if len(idxs) == 0 {
+		// Every shard holding the answer is down — there are no
+		// survivors to answer from, partial or not.
+		return nil, firstDead
+	}
+
 	byShard := make([]*server.Response, len(c.shards))
-	err = c.each(ctx, idxs, "query", func(ctx context.Context, i int) error {
+	query := func(ctx context.Context, i int) error {
 		resp, err := c.shards[i].Do(ctx, sreq)
 		if err != nil {
 			return err
 		}
 		byShard[i] = resp
 		return nil
-	})
-	if err != nil {
+	}
+	if partial {
+		errs := c.eachPartial(ctx, idxs, "query", query)
+		var live []int
+		for j, e := range errs {
+			if e == nil {
+				live = append(live, idxs[j])
+				continue
+			}
+			if !tolerable(ctx, e) {
+				return nil, e
+			}
+			if firstDead == nil {
+				firstDead = e
+			}
+			missingSet[idxs[j]] = true
+		}
+		if len(live) == 0 {
+			return nil, firstDead
+		}
+		idxs = live
+	} else if err := c.each(ctx, idxs, "query", query); err != nil {
 		return nil, err
 	}
 	resps := make([]*server.Response, len(idxs))
@@ -376,8 +519,9 @@ func (c *Coordinator) Do(ctx context.Context, req server.Request) (*server.Respo
 	// Second half of the snapshot handshake: every response must have
 	// executed at the vector preflight saw, or two shards may have
 	// answered from different global snapshots and the merge is refused.
-	// A single-shard route needs no cross-shard consistency — the shard's
-	// own snapshot pin already makes its answer exact.
+	// A single-shard route (or a single survivor) needs no cross-shard
+	// consistency — the shard's own snapshot pin already makes its
+	// answer exact over its partition.
 	if len(idxs) > 1 {
 		for j, i := range idxs {
 			if !versionsMatch(resps[j].Versions, rt.vecs[i]) {
@@ -391,7 +535,7 @@ func (c *Coordinator) Do(ctx context.Context, req server.Request) (*server.Respo
 	for j, r := range resps {
 		orders[j] = r.Order
 	}
-	order, err := c.checkOrders(rt, orders)
+	order, err := c.checkOrders(rt, idxs, orders)
 	if err != nil {
 		return nil, err
 	}
@@ -440,9 +584,29 @@ func (c *Coordinator) Do(ctx context.Context, req server.Request) (*server.Respo
 		return nil, fmt.Errorf("cluster: unknown mode %q (want count, eval or aggregate)", req.Mode)
 	}
 
+	if names := c.missingNames(rt.route.Shards, missingSet); len(names) > 0 {
+		// Never silently wrong: the answer is exact over the survivors
+		// and says so, naming what it is missing.
+		merged.Partial = true
+		merged.Missing = names
+		c.partialServed.Add(1)
+	}
 	merged.Stats.DurationMS = float64(time.Since(start).Microseconds()) / 1000
 	c.queries.Add(1)
 	return merged, nil
+}
+
+// missingNames renders the routed shards marked missing as their
+// sorted names — the Response.Missing / stream-trailer payload.
+func (c *Coordinator) missingNames(routedShards []int, missingSet map[int]bool) []string {
+	var names []string
+	for _, i := range routedShards {
+		if missingSet[i] {
+			names = append(names, c.shards[i].Name())
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // mergeSamples k-way merges the per-shard eval samples by root key into
@@ -534,9 +698,12 @@ func (c *Coordinator) Update(ctx context.Context, req server.UpdateRequest) (*Up
 }
 
 // ShardStats pairs one shard's name with its engine-lifetime stats.
+// Error carries the probe failure for a shard that did not answer (its
+// Stats are then zero) — a degraded fleet still serves its stats.
 type ShardStats struct {
 	Shard string             `json:"shard"`
 	Stats server.EngineStats `json:"stats"`
+	Error string             `json:"error,omitempty"`
 }
 
 // Stats is the coordinator's merged view of the fleet, served by the
@@ -553,6 +720,12 @@ type Stats struct {
 	// NotShardable counts queries refused by the routing rule.
 	SnapshotRejects int64 `json:"snapshot_rejects"`
 	NotShardable    int64 `json:"not_shardable"`
+	// PartialServed counts answers served with partial=true — exact
+	// over the surviving shards, with the missing ones named.
+	PartialServed int64 `json:"partial_served"`
+	// Breakers inventories every endpoint circuit the fleet's clients
+	// guard, in partition then replica-preference order.
+	Breakers []BreakerState `json:"breakers,omitempty"`
 	// Routes describes the routing cache.
 	Routes RouteCacheStats `json:"routes"`
 	// Lifetime is the exact stats.Counters fold of every shard's
@@ -564,10 +737,16 @@ type Stats struct {
 }
 
 // Stats snapshots every shard's engine stats concurrently and folds
-// their lifetime counters exactly.
+// their lifetime counters exactly. A shard that does not answer is
+// reported with its probe error instead of failing the whole snapshot —
+// during an incident, the fleet view (breaker states included) is
+// exactly what the operator needs.
 func (c *Coordinator) Stats(ctx context.Context) (*Stats, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	per := make([]*server.EngineStats, len(c.shards))
-	err := c.each(ctx, c.allShards(), "stats", func(ctx context.Context, i int) error {
+	errs := c.eachPartial(ctx, c.allShards(), "stats", func(ctx context.Context, i int) error {
 		st, err := c.shards[i].Stats(ctx)
 		if err != nil {
 			return err
@@ -575,20 +754,27 @@ func (c *Coordinator) Stats(ctx context.Context) (*Stats, error) {
 		per[i] = st
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
 	out := &Stats{
 		Shards:          len(c.shards),
 		Queries:         c.queries.Load(),
 		Updates:         c.updates.Load(),
 		SnapshotRejects: c.snapshotRejects.Load(),
 		NotShardable:    c.notShardable.Load(),
+		PartialServed:   c.partialServed.Load(),
 		Routes:          c.routes.stats(),
 	}
 	for i, st := range per {
-		out.Lifetime.Merge(&st.Lifetime)
-		out.PerShard = append(out.PerShard, ShardStats{Shard: c.shards[i].Name(), Stats: *st})
+		ss := ShardStats{Shard: c.shards[i].Name()}
+		if st != nil {
+			out.Lifetime.Merge(&st.Lifetime)
+			ss.Stats = *st
+		} else if errs[i] != nil {
+			ss.Error = errs[i].Error()
+		}
+		out.PerShard = append(out.PerShard, ss)
+		if bs, ok := c.shards[i].(BreakerStater); ok {
+			out.Breakers = append(out.Breakers, bs.BreakerStates()...)
+		}
 	}
 	return out, nil
 }

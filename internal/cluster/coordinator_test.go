@@ -139,7 +139,7 @@ func TestCoordinatorDifferential(t *testing.T) {
 					if !reflect.DeepEqual(gotOrder, wantOrder) {
 						t.Errorf("stream %s limit=%d: order %v, single %v", q, limit, gotOrder, wantOrder)
 					}
-					if gotSum != wantSum {
+					if !reflect.DeepEqual(gotSum, wantSum) {
 						t.Errorf("stream %s limit=%d: summary %+v, single %+v", q, limit, gotSum, wantSum)
 					}
 					if !reflect.DeepEqual(gotRows, wantRows) {

@@ -19,6 +19,14 @@ var ErrNotShardable = errors.New("cluster: query is not shardable under first-at
 // client retries against the settled state.
 var ErrSnapshotMoved = errors.New("cluster: shard version vector moved mid-query")
 
+// ErrBreakerOpen marks a request rejected locally because the
+// endpoint's circuit breaker is open: recent consecutive transport
+// failures proved the endpoint unreachable, so the client fails fast
+// instead of stacking timeouts on it. A replica set treats it like any
+// transport failure (fails over); the coordinator surfaces it as a 502
+// ShardError (or converts it to a missing shard under allow_partial).
+var ErrBreakerOpen = errors.New("cluster: endpoint circuit breaker is open")
+
 // ShardError is a typed failure naming the shard that caused it — the
 // coordinator never folds a failed shard into a silent partial result.
 // The HTTP handler renders it as a 502 naming the shard (or the shard's

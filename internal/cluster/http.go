@@ -70,24 +70,49 @@ func NewHandler(c *Coordinator) http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		// The coordinator is ready exactly when its whole fleet is: a
 		// fleet with an unready shard cannot answer any multi-shard
-		// query, so advertising readiness would only invite 502s.
+		// query, so advertising readiness stays 503 — but the body
+		// itemizes which partitions are down (allow_partial queries can
+		// still be served over the rest) and the circuit states, so an
+		// operator sees the blast radius in one probe. Every shard is
+		// probed individually; a dead one does not mask the others.
 		ctx, cancel := context.WithTimeout(r.Context(), healthProbeTimeout)
 		defer cancel()
-		if err := c.each(ctx, c.allShards(), "ready", func(ctx context.Context, i int) error {
+		errs := c.eachPartial(ctx, c.allShards(), "ready", func(ctx context.Context, i int) error {
 			return c.shards[i].Ready(ctx)
-		}); err != nil {
-			writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-				"status": "degraded",
-				"ready":  false,
-				"error":  err.Error(),
-			})
+		})
+		shards := make([]map[string]any, len(c.shards))
+		var firstErr error
+		for i := range c.shards {
+			state := map[string]any{"shard": c.shards[i].Name(), "ready": errs[i] == nil}
+			if errs[i] != nil {
+				state["error"] = errs[i].Error()
+				if firstErr == nil {
+					firstErr = errs[i]
+				}
+			}
+			shards[i] = state
+		}
+		var breakers []BreakerState
+		for _, s := range c.shards {
+			if bs, ok := s.(BreakerStater); ok {
+				breakers = append(breakers, bs.BreakerStates()...)
+			}
+		}
+		body := map[string]any{
+			"status":   "ok",
+			"ready":    true,
+			"shards":   len(c.shards),
+			"fleet":    shards,
+			"breakers": breakers,
+		}
+		if firstErr != nil {
+			body["status"] = "degraded"
+			body["ready"] = false
+			body["error"] = firstErr.Error()
+			writeJSON(w, http.StatusServiceUnavailable, body)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]any{
-			"status": "ok",
-			"ready":  true,
-			"shards": len(c.shards),
-		})
+		writeJSON(w, http.StatusOK, body)
 	})
 	for path, allow := range map[string]string{
 		"/query":   "POST",
@@ -186,10 +211,17 @@ func streamQuery(c *Coordinator, w http.ResponseWriter, r *http.Request, req ser
 		flush()
 		return
 	}
-	_ = enc.Encode(map[string]any{"summary": map[string]any{
+	trailer := map[string]any{
 		"count":     sum.Count,
 		"truncated": sum.Truncated,
-	}})
+	}
+	if sum.Partial {
+		// Only degraded merges carry the extra keys: a healthy fleet's
+		// trailer stays byte-identical to a single engine's.
+		trailer["partial"] = true
+		trailer["missing_shards"] = sum.Missing
+	}
+	_ = enc.Encode(map[string]any{"summary": trailer})
 	flush()
 }
 

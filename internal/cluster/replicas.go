@@ -1,0 +1,284 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"time"
+
+	"repro/internal/server"
+)
+
+// ReplicaConfig tunes one replica group.
+type ReplicaConfig struct {
+	// Hedge, when positive, launches the read on the next replica after
+	// this delay if the current attempt has not answered yet — the first
+	// success wins and cancels the laggards. Tail-latency insurance for
+	// buffered reads; 0 disables hedging (pure sequential failover).
+	// Streams and updates are never hedged (rows may already be out; a
+	// delta must reach every replica).
+	Hedge time.Duration
+}
+
+// ReplicaSet serves one partition from several interchangeable replicas
+// holding the same data slice. Reads fail over between replicas —
+// sequentially, or concurrently after a hedge delay — so one dead
+// endpoint does not take the partition down; updates fan out to every
+// replica and all must succeed. It implements Shard, so the coordinator
+// treats a replicated partition exactly like a single endpoint.
+//
+// Consistency: a read answers from whichever replica responds, and the
+// snapshot handshake's preflight may have read a different replica than
+// the execution. While the replicas agree (every update succeeded
+// everywhere) that is invisible; after a partial update failure the
+// replicas may diverge, and a multi-shard merge across divergent
+// replicas fails the version re-check (409, retry converges) rather
+// than merging mixed snapshots. Single-shard reads from a stale replica
+// are still internally consistent snapshots of that replica.
+type ReplicaSet struct {
+	name  string
+	reps  []Shard
+	hedge time.Duration
+}
+
+// NewReplicaSet groups interchangeable replicas (same partition, same
+// data) into one logical shard. Order matters only as preference:
+// reads try replicas in the given order.
+func NewReplicaSet(reps []Shard, cfg ReplicaConfig) *ReplicaSet {
+	names := make([]string, len(reps))
+	for i, r := range reps {
+		names[i] = r.Name()
+	}
+	return &ReplicaSet{
+		name:  strings.Join(names, "|"),
+		reps:  reps,
+		hedge: cfg.Hedge,
+	}
+}
+
+// Name implements Shard: the replica endpoints joined by "|", matching
+// the -shards flag syntax that built the group.
+func (r *ReplicaSet) Name() string { return r.name }
+
+// failoverable reports whether err justifies trying another replica.
+// Transport failures, open breakers and shard-side 5xx all do — the
+// next replica may well serve. A 4xx is the shard answering that the
+// request itself is bad; every replica would refuse identically, so it
+// is authoritative and returned as-is.
+func failoverable(err error) bool {
+	var se *StatusError
+	if errors.As(err, &se) {
+		return se.Status >= 500
+	}
+	return true
+}
+
+// read runs f against replicas in preference order until one answers,
+// the error is authoritative, or ctx dies.
+func (r *ReplicaSet) read(ctx context.Context, f func(ctx context.Context, s Shard) error) error {
+	var lastErr error
+	for _, s := range r.reps {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return lastErr
+			}
+			return err
+		}
+		lastErr = f(ctx, s)
+		if lastErr == nil || !failoverable(lastErr) {
+			return lastErr
+		}
+	}
+	return lastErr
+}
+
+// Ready implements Shard: the partition is ready when any replica is.
+func (r *ReplicaSet) Ready(ctx context.Context) error {
+	return r.read(ctx, func(ctx context.Context, s Shard) error {
+		return s.Ready(ctx)
+	})
+}
+
+// Versions implements Shard, answering from the first live replica.
+func (r *ReplicaSet) Versions(ctx context.Context, names []string) (map[string]uint64, error) {
+	var out map[string]uint64
+	err := r.read(ctx, func(ctx context.Context, s Shard) error {
+		var err error
+		out, err = s.Versions(ctx, names)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats implements Shard, answering from the first live replica.
+func (r *ReplicaSet) Stats(ctx context.Context) (*server.EngineStats, error) {
+	var out *server.EngineStats
+	err := r.read(ctx, func(ctx context.Context, s Shard) error {
+		var err error
+		out, err = s.Stats(ctx)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Do implements Shard: sequential failover, or hedged when configured —
+// queries are reads, so racing two replicas is safe.
+func (r *ReplicaSet) Do(ctx context.Context, req server.Request) (*server.Response, error) {
+	if r.hedge <= 0 || len(r.reps) < 2 {
+		var out *server.Response
+		err := r.read(ctx, func(ctx context.Context, s Shard) error {
+			var err error
+			out, err = s.Do(ctx, req)
+			return err
+		})
+		if err != nil {
+			return nil, err
+		}
+		return out, nil
+	}
+	return r.hedgedDo(ctx, req)
+}
+
+// hedgedDo races replicas with staggered starts: replica i+1 launches
+// when the hedge delay elapses with no answer yet, or immediately when
+// an attempt fails. First success wins and cancels the laggards; an
+// authoritative 4xx wins too (every replica would refuse identically).
+func (r *ReplicaSet) hedgedDo(ctx context.Context, req server.Request) (*server.Response, error) {
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel() // the winner abandons the laggards
+	type result struct {
+		resp *server.Response
+		err  error
+	}
+	// Buffered to every replica: abandoned laggards complete their send
+	// and exit — no goroutine outlives the call by more than its own
+	// (cancelled) request.
+	results := make(chan result, len(r.reps))
+	launched := 0
+	launch := func() {
+		s := r.reps[launched]
+		launched++
+		go func() {
+			resp, err := s.Do(ctx, req)
+			results <- result{resp, err}
+		}()
+	}
+	launch()
+	timer := time.NewTimer(r.hedge)
+	defer timer.Stop()
+	pending := 1
+	var lastErr error
+	for pending > 0 {
+		select {
+		case res := <-results:
+			pending--
+			if res.err == nil {
+				return res.resp, nil
+			}
+			if ctx.Err() == nil && !failoverable(res.err) {
+				return nil, res.err
+			}
+			lastErr = res.err
+			if ctx.Err() == nil && launched < len(r.reps) {
+				// A failure frees its hedge slot immediately — no point
+				// waiting out the timer on a dead attempt.
+				launch()
+				pending++
+			}
+		case <-timer.C:
+			if launched < len(r.reps) {
+				launch()
+				pending++
+				timer.Reset(r.hedge)
+			}
+		}
+	}
+	return nil, lastErr
+}
+
+// Update implements Shard: the delta fans out to every replica
+// concurrently and all must succeed — a replica that missed an update
+// would serve stale reads forever. On a partial failure the error names
+// the replica; a retry converges (set semantics make re-application a
+// version-preserving no-op on the replicas that already applied it).
+// Siblings are not cancelled on failure: the more replicas that apply,
+// the less the retry has left to repair.
+func (r *ReplicaSet) Update(ctx context.Context, req server.UpdateRequest) (*server.UpdateResult, error) {
+	results := make([]*server.UpdateResult, len(r.reps))
+	errc := make(chan error, len(r.reps))
+	for i, s := range r.reps {
+		go func(i int, s Shard) {
+			res, err := s.Update(ctx, req)
+			if err != nil {
+				errc <- &ShardError{Shard: s.Name(), Op: "update", Err: err}
+				return
+			}
+			results[i] = res
+			errc <- nil
+		}(i, s)
+	}
+	var firstErr error
+	for range r.reps {
+		if err := <-errc; err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results[0], nil
+}
+
+// Stream implements Shard. Failover is only sound while no row has been
+// delivered: once rows are out, a replay from another replica would
+// re-deliver them, so a mid-stream death surfaces as the error it is
+// (the coordinator's partial mode decides what to do with it). The
+// header is deduplicated across attempts — replicas plan identically,
+// so the first fired order stands.
+func (r *ReplicaSet) Stream(ctx context.Context, req server.Request, header func(order []string), row func(mu []int64) bool) (server.StreamSummary, error) {
+	fired := false
+	hdr := func(order []string) {
+		if !fired {
+			fired = true
+			if header != nil {
+				header(order)
+			}
+		}
+	}
+	var lastErr error
+	var lastSum server.StreamSummary
+	for _, s := range r.reps {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		delivered := false
+		sum, err := s.Stream(ctx, req, hdr, func(mu []int64) bool {
+			delivered = true
+			return row(mu)
+		})
+		if err == nil || delivered || !failoverable(err) {
+			return sum, err
+		}
+		lastErr = err
+		lastSum = sum
+	}
+	return lastSum, lastErr
+}
+
+// BreakerStates implements BreakerStater: the concatenation of every
+// replica's circuits, in preference order.
+func (r *ReplicaSet) BreakerStates() []BreakerState {
+	var out []BreakerState
+	for _, s := range r.reps {
+		if bs, ok := s.(BreakerStater); ok {
+			out = append(out, bs.BreakerStates()...)
+		}
+	}
+	return out
+}

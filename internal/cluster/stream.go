@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"repro/internal/server"
@@ -43,25 +44,65 @@ type shardStream struct {
 // fails the stream with ErrSnapshotMoved — rows already delivered
 // cannot be unsent, so the error arrives as the stream's terminal
 // status (the NDJSON trailer over HTTP).
+//
+// A shard death mid-stream normally fails the stream the moment the
+// merge reaches the dead head (the remaining scans are cancelled and
+// drained before StreamCtx returns — no goroutine outlives it). With
+// req.AllowPartial, a tolerable death instead marks the shard missing
+// and the merge continues over the survivors: the delivered sequence is
+// then the exact merge of the surviving partitions (plus the dead
+// shard's already-delivered prefix), and the summary says so.
 func (c *Coordinator) StreamCtx(ctx context.Context, req server.Request, header func(order []string), row func(mu []int64) bool) (server.StreamSummary, error) {
 	req, err := c.prepare(req)
 	if err != nil {
 		return server.StreamSummary{}, err
 	}
-	rt, err := c.resolve(ctx, req)
+	partial := req.AllowPartial
+	rt, preMissing, err := c.resolve(ctx, req, partial)
 	if err != nil {
 		return server.StreamSummary{}, err
 	}
 	sreq := req
 	sreq.Mode = ""
 
-	idxs := rt.route.Shards
+	missingSet := make(map[int]bool, len(preMissing))
+	for _, i := range preMissing {
+		missingSet[i] = true
+	}
+	var idxs []int
+	var firstDead error
+	for _, i := range rt.route.Shards {
+		if !missingSet[i] {
+			idxs = append(idxs, i)
+		} else if firstDead == nil {
+			firstDead = c.shardErr(i, "stream", errors.New("no live endpoint for partition"))
+		}
+	}
+	if len(idxs) == 0 {
+		return server.StreamSummary{}, firstDead
+	}
+
+	// finish stamps the degraded-mode outcome on a completed merge.
+	finish := func(sum server.StreamSummary) server.StreamSummary {
+		if names := c.missingNames(rt.route.Shards, missingSet); len(names) > 0 {
+			sum.Partial = true
+			sum.Missing = names
+			c.partialServed.Add(1)
+		}
+		return sum
+	}
+
 	if len(idxs) == 1 {
 		// No merge, so no cross-shard order or snapshot constraints: the
-		// one shard's own snapshot pin already makes its stream exact.
+		// one shard's own snapshot pin already makes its stream exact
+		// (over its partition — finish marks whether that is the whole
+		// route). A death mid-single-stream has no survivors to continue
+		// over, so it surfaces as the error it is.
 		i := idxs[0]
 		hdr := func(order []string) {
-			c.routes.learn(rt.key, order)
+			if !rt.nocache {
+				c.routes.learn(rt.key, order)
+			}
 			if header != nil {
 				header(order)
 			}
@@ -71,7 +112,7 @@ func (c *Coordinator) StreamCtx(ctx context.Context, req server.Request, header 
 			return sum, c.shardErr(i, "stream", err)
 		}
 		c.queries.Add(1)
-		return sum, nil
+		return finish(sum), nil
 	}
 
 	sctx, cancel := context.WithCancel(ctx)
@@ -102,7 +143,9 @@ func (c *Coordinator) StreamCtx(ctx context.Context, req server.Request, header 
 		}(s)
 	}
 	// Every exit path cancels the in-flight scans and waits for the
-	// producers — no goroutine outlives the merge.
+	// producers — no goroutine outlives the merge. In particular, a
+	// mid-stream shard death that fails the merge cancels the surviving
+	// scans here, promptly, instead of letting them stream to nowhere.
 	defer func() {
 		cancel()
 		for _, s := range streams {
@@ -113,9 +156,13 @@ func (c *Coordinator) StreamCtx(ctx context.Context, req server.Request, header 
 	// Header barrier: a successful shard stream announces its variable
 	// order before its first row, so waiting on every header (or the
 	// stream's early death) costs no row latency and lets order
-	// divergence fail the stream before anything is delivered.
-	orders := make([][]string, len(streams))
-	for j, s := range streams {
+	// divergence fail the stream before anything is delivered. Under
+	// allow_partial a shard dying at the barrier is dropped instead —
+	// nothing of it was delivered yet.
+	var live []*shardStream
+	var liveIdxs []int
+	var orders [][]string
+	for _, s := range streams {
 		order, ok := <-s.hdr
 		if !ok {
 			<-s.done
@@ -123,11 +170,24 @@ func (c *Coordinator) StreamCtx(ctx context.Context, req server.Request, header 
 			if err == nil {
 				err = fmt.Errorf("stream ended before announcing its variable order")
 			}
-			return server.StreamSummary{}, c.shardErr(s.shard, "stream", err)
+			err = c.shardErr(s.shard, "stream", err)
+			if partial && tolerable(ctx, err) {
+				missingSet[s.shard] = true
+				if firstDead == nil {
+					firstDead = err
+				}
+				continue
+			}
+			return server.StreamSummary{}, err
 		}
-		orders[j] = order
+		live = append(live, s)
+		liveIdxs = append(liveIdxs, s.shard)
+		orders = append(orders, order)
 	}
-	order, err := c.checkOrders(rt, orders)
+	if len(live) == 0 {
+		return server.StreamSummary{}, firstDead
+	}
+	order, err := c.checkOrders(rt, liveIdxs, orders)
 	if err != nil {
 		return server.StreamSummary{}, err
 	}
@@ -137,12 +197,18 @@ func (c *Coordinator) StreamCtx(ctx context.Context, req server.Request, header 
 
 	// Postflight: the stream wire format carries no version vector (it
 	// must stay byte-identical to a single engine's), so consistency is
-	// re-checked out of band after the rows. An update landing after a
-	// shard's scan finished but before this probe is indistinguishable
-	// from one landing mid-scan; the check is conservative and rejects
-	// both.
+	// re-checked out of band after the rows, over the shards whose rows
+	// were merged. An update landing after a shard's scan finished but
+	// before this probe is indistinguishable from one landing mid-scan;
+	// the check is conservative and rejects both. A survivor that dies
+	// here is NOT dropped even under allow_partial — its rows are
+	// already in the merge and can no longer be certified, so the
+	// stream fails rather than stand behind them.
 	postflight := func() error {
 		for _, i := range idxs {
+			if missingSet[i] {
+				continue
+			}
 			post, err := c.shards[i].Versions(ctx, rt.names)
 			if err != nil {
 				return c.shardErr(i, "versions", err)
@@ -159,23 +225,45 @@ func (c *Coordinator) StreamCtx(ctx context.Context, req server.Request, header 
 		return nil
 	}
 
-	// K-way merge by root key. advance blocks on the shard's next row;
-	// the disjoint-partition invariant keeps heads tie-free, and ties
-	// (a mispartitioned fleet) break to the lower position so the merge
+	// K-way merge by root key. advance blocks on the shard's next row
+	// and surfaces the shard's death the moment its channel drains — in
+	// strict mode that fails the merge right there (the deferred cancel
+	// reaps the siblings); under allow_partial a tolerable death marks
+	// the shard missing and the merge keeps going without it. The
+	// disjoint-partition invariant keeps heads tie-free, and ties (a
+	// mispartitioned fleet) break to the lower position so the merge
 	// stays deterministic.
-	advance := func(s *shardStream) { s.head, s.ok = <-s.rows }
-	for _, s := range streams {
-		advance(s)
+	advance := func(s *shardStream) error {
+		if s.head, s.ok = <-s.rows; s.ok {
+			return nil
+		}
+		<-s.done
+		if s.err == nil {
+			return nil
+		}
+		err := c.shardErr(s.shard, "stream", s.err)
+		if partial && tolerable(ctx, err) {
+			// The shard's already-delivered prefix stands; the trailer
+			// names the loss.
+			missingSet[s.shard] = true
+			return nil
+		}
+		return err
 	}
 	var sum server.StreamSummary
+	for _, s := range live {
+		if err := advance(s); err != nil {
+			return sum, err
+		}
+	}
 	limit := int64(req.Limit)
 	for {
 		best := -1
-		for j, s := range streams {
+		for j, s := range live {
 			if !s.ok {
 				continue
 			}
-			if best == -1 || s.head[0] < streams[best].head[0] {
+			if best == -1 || s.head[0] < live[best].head[0] {
 				best = j
 			}
 		}
@@ -192,27 +280,29 @@ func (c *Coordinator) StreamCtx(ctx context.Context, req server.Request, header 
 				return sum, err
 			}
 			c.queries.Add(1)
-			return sum, nil
+			return finish(sum), nil
 		}
 		sum.Count++
-		if !row(streams[best].head) {
-			return sum, nil // consumer stop: normal completion, no guarantee owed
+		if !row(live[best].head) {
+			return finish(sum), nil // consumer stop: normal completion, no guarantee owed
 		}
-		advance(streams[best])
+		if err := advance(live[best]); err != nil {
+			return sum, err
+		}
 	}
 
-	// All shards drained. A shard that stopped at its own limit proves a
-	// row beyond the merged prefix even though no head remains.
-	for _, s := range streams {
-		<-s.done
-		if s.err != nil {
-			return sum, c.shardErr(s.shard, "stream", s.err)
+	// All live shards drained (their terminal errors already went
+	// through advance). A shard that stopped at its own limit proves a
+	// row beyond the merged prefix even though no head remains; a shard
+	// dropped mid-merge contributes neither truncation nor certainty.
+	for _, s := range live {
+		if !missingSet[s.shard] {
+			sum.Truncated = sum.Truncated || s.sum.Truncated
 		}
-		sum.Truncated = sum.Truncated || s.sum.Truncated
 	}
 	if err := postflight(); err != nil {
 		return sum, err
 	}
 	c.queries.Add(1)
-	return sum, nil
+	return finish(sum), nil
 }

@@ -12,6 +12,7 @@ package server
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -20,6 +21,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/cq"
+	"repro/internal/faults"
 	"repro/internal/leapfrog"
 	"repro/internal/relation"
 	"repro/internal/stats"
@@ -103,6 +105,12 @@ type Config struct {
 	// and every applied update is durable before it is acknowledged.
 	// NewEngine ignores DataDir and always builds a memory-only engine.
 	DataDir string
+	// Faults threads a fault injector through the engine's I/O: the
+	// store's file operations (WAL appends/fsyncs, snapshot writes) and
+	// the registry's byte budget (site "registry/pressure" shrinks the
+	// resident tries to zero before a query executes, forcing rebuilds).
+	// Nil — the default, and the only production value — is inert.
+	Faults *faults.Injector
 }
 
 // DefaultMaxTuples is the eval response cap when neither the request
@@ -156,12 +164,37 @@ type Engine struct {
 	// releases it after queries drain.
 	pdb *store.DB
 
+	// readOnly, when non-nil, marks the engine degraded: a durability
+	// failure (WAL append, snapshot rewrite) flipped it, updates are
+	// refused with ErrReadOnly, and reads keep serving the last durable
+	// snapshot. Sticky until restart — the failed write left the WAL in
+	// an unknown state, so only a fresh boot (which re-verifies and
+	// recovers the log) may accept writes again.
+	readOnly atomic.Pointer[ReadOnlyState]
+
 	life    stats.Locked
 	queries atomic.Int64
 	updates atomic.Int64
 	closed  atomic.Bool
 	started time.Time
 }
+
+// ReadOnlyState describes why and when an engine stopped accepting
+// updates (see Engine.ReadOnly).
+type ReadOnlyState struct {
+	// Reason is the durability failure that flipped the engine.
+	Reason string `json:"reason"`
+	// Since is when it flipped.
+	Since time.Time `json:"since"`
+}
+
+// ErrReadOnly marks an update refused because a durability failure put
+// the engine in read-only mode. HTTP maps it to 503.
+var ErrReadOnly = errors.New("server: engine is read-only after a persistence failure")
+
+// ReadOnly reports the engine's degraded state: nil while updates are
+// accepted, else the durability failure that flipped it.
+func (e *Engine) ReadOnly() *ReadOnlyState { return e.readOnly.Load() }
 
 // NewEngine wraps db in a resident, memory-only engine (Config.DataDir
 // is ignored; see OpenEngine for persistence). The db (and its
@@ -272,6 +305,7 @@ func OpenEngine(cfg Config, load func() (*relation.DB, error)) (e *Engine, warm 
 	if err != nil {
 		return nil, false, err
 	}
+	pdb.SetFaults(cfg.Faults)
 	defer func() {
 		if err != nil {
 			pdb.Close()
@@ -523,6 +557,12 @@ type Request struct {
 	// empty. Non-zero execution fields override the statement's
 	// defaults.
 	Stmt string `json:"stmt,omitempty"`
+	// AllowPartial lets a cluster coordinator answer from the surviving
+	// shards when some are unreachable, marking the response
+	// Partial/Missing instead of failing with a shard error. A
+	// single-engine server has no shards to lose and ignores it.
+	// Execution-only: never part of the plan-cache key.
+	AllowPartial bool `json:"allow_partial,omitempty"`
 }
 
 // UpdateRequest is one mutation submission: a batch of inserts and
@@ -567,6 +607,9 @@ type UpdateResult struct {
 func (e *Engine) Update(req UpdateRequest) (*UpdateResult, error) {
 	e.updateMu.Lock()
 	defer e.updateMu.Unlock()
+	if rs := e.readOnly.Load(); rs != nil {
+		return nil, fmt.Errorf("%w (since %s: %s)", ErrReadOnly, rs.Since.Format(time.RFC3339), rs.Reason)
+	}
 	st, ok := e.stores[req.Relation]
 	if !ok {
 		return nil, fmt.Errorf("server: no relation %q to update", req.Relation)
@@ -586,9 +629,11 @@ func (e *Engine) Update(req UpdateRequest) (*UpdateResult, error) {
 		// the compaction crossover, the fresh snapshot is renamed into
 		// place) before the new version is installed for queries, so an
 		// acknowledged update always survives a restart. A persistence
-		// failure is returned as an error; the in-memory chain has
-		// already advanced, so the engine keeps serving the new version
-		// but the caller knows it is not durable.
+		// failure flips the engine read-only: the failed write left the
+		// log in an unknown state, so accepting further updates could
+		// diverge memory from disk silently. The un-persisted version is
+		// never installed — queries keep answering from the last durable
+		// snapshot, which is exactly what a restart would recover.
 		if e.pdb != nil {
 			var perr error
 			if v.Patched() {
@@ -597,7 +642,8 @@ func (e *Engine) Update(req UpdateRequest) (*UpdateResult, error) {
 				perr = e.pdb.SaveRelation(req.Relation, v.Rel, v.Num)
 			}
 			if perr != nil {
-				return nil, fmt.Errorf("server: update applied but not persisted: %w", perr)
+				e.readOnly.CompareAndSwap(nil, &ReadOnlyState{Reason: perr.Error(), Since: time.Now()})
+				return nil, fmt.Errorf("%w: update not persisted: %s", ErrReadOnly, perr)
 			}
 		}
 		if e.reg != nil {
@@ -692,6 +738,12 @@ type Response struct {
 	// it against the vector it collected before fanning out to detect a
 	// shard whose data moved mid-query.
 	Versions map[string]uint64 `json:"versions,omitempty"`
+	// Partial marks a coordinator answer assembled from a strict subset
+	// of the routed shards (AllowPartial requests only); Missing names
+	// the shards whose contribution is absent, sorted. Count/Tuples are
+	// exact over the surviving shards' data — never an estimate.
+	Partial bool     `json:"partial,omitempty"`
+	Missing []string `json:"missing_shards,omitempty"`
 	// Stats is the query's private accounting.
 	Stats QueryStats `json:"stats"`
 }
@@ -966,6 +1018,13 @@ func (e *Engine) planFor(q *cq.Query, text string, names []string, vec string, d
 // sorted relation names.
 func (e *Engine) exec(ctx context.Context, q *cq.Query, text string, names []string, req Request) (*Response, error) {
 	start := time.Now()
+	// Forced eviction pressure: an armed "registry/pressure" fault
+	// shrinks the resident tries to zero before this query plans, so the
+	// execution pays cold rebuilds — correctness must not depend on a
+	// warm registry.
+	if e.reg != nil && e.cfg.Faults.Fire("registry/pressure") != nil {
+		e.reg.Shrink(0)
+	}
 	pol, err := e.policyOf(req)
 	if err != nil {
 		return nil, err

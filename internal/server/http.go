@@ -94,7 +94,13 @@ func NewHandler(e *Engine) http.Handler {
 		}
 		res, err := e.Update(req)
 		if err != nil {
-			writeError(w, http.StatusBadRequest, err)
+			status := http.StatusBadRequest
+			if errors.Is(err, ErrReadOnly) {
+				// Degraded, not caller error: reads still serve, the
+				// operator must intervene (see docs/OPERATIONS.md).
+				status = http.StatusServiceUnavailable
+			}
+			writeError(w, status, err)
 			return
 		}
 		writeJSON(w, http.StatusOK, res)
@@ -106,13 +112,25 @@ func NewHandler(e *Engine) http.Handler {
 	// engine has finished booting, so the 200 means "serving". During a
 	// warm boot (mmap verification, WAL replay) the daemon answers 503
 	// through the Gate instead — a coordinator uses the transition to
-	// gate shard admission.
+	// gate shard admission. The body carries per-component state so an
+	// operator can tell degraded (read-only after a durability failure:
+	// still 200, reads serve) from dead.
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]any{
+		body := map[string]any{
 			"status":  "ok",
 			"ready":   true,
 			"queries": e.queries.Load(),
-		})
+			"components": map[string]any{
+				"engine": "ok",
+				"wal":    "ok",
+			},
+		}
+		if rs := e.ReadOnly(); rs != nil {
+			body["status"] = "degraded"
+			body["components"].(map[string]any)["wal"] = "read_only"
+			body["read_only"] = rs
+		}
+		writeJSON(w, http.StatusOK, body)
 	})
 	// The method patterns above answer the happy paths; these bare-path
 	// fallbacks catch every other verb so wrong-method requests keep the
@@ -262,6 +280,8 @@ func errStatus(err error) int {
 		return http.StatusGatewayTimeout
 	case errors.Is(err, context.Canceled):
 		return 499 // client closed request (nginx convention)
+	case errors.Is(err, ErrReadOnly):
+		return http.StatusServiceUnavailable
 	default:
 		return http.StatusBadRequest
 	}

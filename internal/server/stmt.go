@@ -291,10 +291,15 @@ func (s *Stmt) stream(ctx context.Context, req Request, header func(order []stri
 
 // StreamSummary is StreamCtx's trailer: how many rows were delivered
 // and whether the request's (or prepared default's) limit cut the
-// enumeration short.
+// enumeration short. Partial and Missing are set only by a cluster
+// coordinator serving an allow_partial stream over a degraded fleet
+// (the delivered rows are the exact merge of the surviving shards);
+// a single engine always leaves them zero.
 type StreamSummary struct {
 	Count     int64
 	Truncated bool
+	Partial   bool
+	Missing   []string
 }
 
 // StreamCtx executes one eval request in streaming form: header is

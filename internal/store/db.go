@@ -8,6 +8,7 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/faults"
 	"repro/internal/relation"
 	"repro/internal/trie"
 )
@@ -33,6 +34,7 @@ type DB struct {
 	dir string
 
 	mu       sync.Mutex
+	inj      *faults.Injector
 	rels     map[string]*relState
 	bases    map[*relation.Relation]baseInfo
 	mappings []*mapping
@@ -106,6 +108,25 @@ func Open(dir string) (*DB, error) {
 // Dir returns the managed data directory.
 func (db *DB) Dir() string { return db.dir }
 
+// SetFaults installs a fault injector over the DB's file operations
+// (WAL appends and fsyncs, snapshot writes/syncs/renames). Call it
+// before attaching relations; a nil injector (the default) is inert.
+func (db *DB) SetFaults(inj *faults.Injector) {
+	db.mu.Lock()
+	db.inj = inj
+	for _, rs := range db.rels {
+		rs.wal.inj = inj
+	}
+	db.mu.Unlock()
+}
+
+// faults returns the installed injector (possibly nil).
+func (db *DB) faults() *faults.Injector {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.inj
+}
+
 // Close releases every WAL handle and unmaps every snapshot. Callers
 // must guarantee no query still references an opened relation or trie —
 // the engine closes its DB only after draining in-flight work.
@@ -177,6 +198,7 @@ func (db *DB) OpenRelation(name string, arity int) (rel *relation.Relation, num 
 		m.close()
 		return nil, 0, nil, false, err
 	}
+	w.inj = db.faults()
 	records = make([]Record, len(recs))
 	for i, r := range recs {
 		records[i] = Record{Inserts: r.Inserts, Deletes: r.Deletes}
@@ -200,7 +222,7 @@ func (db *DB) OpenRelation(name string, arity int) (rel *relation.Relation, num 
 // would be refused anyway by the generation check).
 func (db *DB) SaveRelation(name string, rel *relation.Relation, num uint64) error {
 	gen := newGeneration()
-	n, err := writeRelationSnapshot(db.path(name, "snap"), rel, num, gen)
+	n, err := writeRelationSnapshot(db.path(name, "snap"), rel, num, gen, db.faults())
 	if err != nil {
 		return err
 	}
@@ -213,6 +235,7 @@ func (db *DB) SaveRelation(name string, rel *relation.Relation, num uint64) erro
 		if werr != nil {
 			return werr
 		}
+		w.inj = db.faults()
 		rs = &relState{arity: rel.Arity(), wal: w}
 	} else if err := rs.wal.reset(gen, num); err != nil {
 		return err
@@ -272,7 +295,7 @@ func (db *DB) SaveTrie(rel *relation.Relation, perm []int, t *trie.Trie) bool {
 	if !ok {
 		return false
 	}
-	n, err := writeTrieSnapshot(db.triePath(info.name, perm), t, info.num, info.gen)
+	n, err := writeTrieSnapshot(db.triePath(info.name, perm), t, info.num, info.gen, db.faults())
 	if err != nil {
 		return false
 	}

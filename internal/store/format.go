@@ -22,6 +22,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+
+	"repro/internal/faults"
 )
 
 // Container constants. See docs/FORMAT.md for the normative byte layout.
@@ -154,7 +156,7 @@ func numPages(payloadLen int) int { return (payloadLen + PageSize - 1) / PageSiz
 // assembled in-memory image (snapshot payloads are bounded by the trie
 // byte budget, so buffering the image is acceptable and keeps the
 // checksum pass single-threaded and simple). Returns total bytes written.
-func writeContainer(path string, h header, sections []section, fill func(i int, dst []byte)) (int64, error) {
+func writeContainer(path string, h header, sections []section, fill func(i int, dst []byte), inj *faults.Injector) (int64, error) {
 	if len(sections) > 0 {
 		last := sections[len(sections)-1]
 		h.PayloadLen = uint64(align8(int(last.Off + last.Len)))
@@ -192,7 +194,7 @@ func writeContainer(path string, h header, sections []section, fill func(i int, 
 	pagesEnd := 4 * numPages(payLen)
 	nativeEndian.PutUint32(crcs[pagesEnd:], crc(crcs[:pagesEnd]))
 
-	if err := atomicWrite(path, buf); err != nil {
+	if err := atomicWriteInj(path, buf, inj); err != nil {
 		return 0, err
 	}
 	return int64(total), nil
@@ -284,7 +286,17 @@ func verifyContainer(b []byte, wantMagic [8]byte) (*containerView, error) {
 // atomicWrite writes data to path via a same-directory temp file, fsync,
 // and rename, then fsyncs the directory so the rename itself is durable.
 func atomicWrite(path string, data []byte) error {
+	return atomicWriteInj(path, data, nil)
+}
+
+// atomicWriteInj is atomicWrite with fault-injection sites at each
+// failure point: "store/<file>/write" (a KindShort leaves a real torn
+// temp file, which the cleanup removes — exactly what a crash leaves
+// for the next boot to ignore), "store/<file>/sync", and
+// "store/<file>/rename".
+func atomicWriteInj(path string, data []byte, inj *faults.Injector) error {
 	dir := filepath.Dir(path)
+	site := "store/" + filepath.Base(path)
 	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
@@ -295,13 +307,24 @@ func atomicWrite(path string, data []byte) error {
 		os.Remove(tmp)
 		return err
 	}
+	if n, ierr := inj.WriteLen(site+"/write", len(data)); ierr != nil {
+		f.Write(data[:n])
+		return cleanup(ierr)
+	}
 	if _, err := f.Write(data); err != nil {
+		return cleanup(err)
+	}
+	if err := inj.Check(site + "/sync"); err != nil {
 		return cleanup(err)
 	}
 	if err := f.Sync(); err != nil {
 		return cleanup(err)
 	}
 	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := inj.Check(site + "/rename"); err != nil {
 		os.Remove(tmp)
 		return err
 	}

@@ -3,6 +3,7 @@ package store
 import (
 	"fmt"
 
+	"repro/internal/faults"
 	"repro/internal/relation"
 	"repro/internal/trie"
 )
@@ -17,7 +18,7 @@ import (
 
 // writeRelationSnapshot writes rel (at version num, stamped gen) to path
 // atomically and returns the file size.
-func writeRelationSnapshot(path string, rel *relation.Relation, num, gen uint64) (int64, error) {
+func writeRelationSnapshot(path string, rel *relation.Relation, num, gen uint64, inj *faults.Injector) (int64, error) {
 	data := rel.Data()
 	h := header{
 		Magic:      MagicRelation,
@@ -28,7 +29,7 @@ func writeRelationSnapshot(path string, rel *relation.Relation, num, gen uint64)
 	secs := []section{{Off: 0, Len: uint64(len(data) * 8)}}
 	return writeContainer(path, h, secs, func(_ int, dst []byte) {
 		copy(dst, int64sAsBytes(data))
-	})
+	}, inj)
 }
 
 // openRelationSnapshot maps path and reconstructs the relation around
@@ -70,7 +71,7 @@ func openRelationSnapshot(path, name string) (*relation.Relation, header, *mappi
 // with the owning relation snapshot's generation and version. Patched
 // tries refuse to snapshot (see trie.Snapshot); callers only persist
 // full builds.
-func writeTrieSnapshot(path string, t *trie.Trie, num, gen uint64) (int64, error) {
+func writeTrieSnapshot(path string, t *trie.Trie, num, gen uint64, inj *faults.Injector) (int64, error) {
 	levels, err := t.Snapshot()
 	if err != nil {
 		return 0, err
@@ -98,7 +99,7 @@ func writeTrieSnapshot(path string, t *trie.Trie, num, gen uint64) (int64, error
 		} else {
 			copy(dst, int32sAsBytes(lvl.Start))
 		}
-	})
+	}, inj)
 }
 
 // openTrieSnapshot maps path and reconstructs the trie around the mapped

@@ -71,7 +71,7 @@ func equalInt32s(a, b []int32) bool {
 func TestRelationSnapshotRoundTrip(t *testing.T) {
 	rel := tinyRelation(t)
 	path := filepath.Join(t.TempDir(), "r.snap")
-	if _, err := writeRelationSnapshot(path, rel, goldNum, goldGen); err != nil {
+	if _, err := writeRelationSnapshot(path, rel, goldNum, goldGen, nil); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	got, h, m, err := openRelationSnapshot(path, "r")
@@ -90,7 +90,7 @@ func TestRelationSnapshotRoundTrip(t *testing.T) {
 func TestTrieSnapshotRoundTrip(t *testing.T) {
 	tr := trie.Build(tinyRelation(t), nil)
 	path := filepath.Join(t.TempDir(), "r.0001.trie")
-	if _, err := writeTrieSnapshot(path, tr, goldNum, goldGen); err != nil {
+	if _, err := writeTrieSnapshot(path, tr, goldNum, goldGen, nil); err != nil {
 		t.Fatalf("write: %v", err)
 	}
 	got, m, err := openTrieSnapshot(path, goldGen, goldNum)
@@ -119,10 +119,10 @@ func TestGoldenBytes(t *testing.T) {
 
 	snapPath := filepath.Join(dir, "tiny.snap")
 	triePath := filepath.Join(dir, "tiny.trie")
-	if _, err := writeRelationSnapshot(snapPath, rel, goldNum, goldGen); err != nil {
+	if _, err := writeRelationSnapshot(snapPath, rel, goldNum, goldGen, nil); err != nil {
 		t.Fatalf("write snap: %v", err)
 	}
-	if _, err := writeTrieSnapshot(triePath, tr, goldNum, goldGen); err != nil {
+	if _, err := writeTrieSnapshot(triePath, tr, goldNum, goldGen, nil); err != nil {
 		t.Fatalf("write trie: %v", err)
 	}
 
@@ -174,7 +174,7 @@ func TestSnapshotCorruptionRefused(t *testing.T) {
 	rel := tinyRelation(t)
 	dir := t.TempDir()
 	path := filepath.Join(dir, "r.snap")
-	if _, err := writeRelationSnapshot(path, rel, goldNum, goldGen); err != nil {
+	if _, err := writeRelationSnapshot(path, rel, goldNum, goldGen, nil); err != nil {
 		t.Fatal(err)
 	}
 	pristine, err := os.ReadFile(path)

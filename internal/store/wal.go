@@ -4,6 +4,9 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"path/filepath"
+
+	"repro/internal/faults"
 )
 
 // Write-ahead log (.wal): a 64-byte container header (Sections = 0,
@@ -33,6 +36,7 @@ type wal struct {
 	path  string
 	arity int
 	gen   uint64
+	inj   *faults.Injector
 }
 
 const walRecordHeader = 8 // u32 length + u32 crc
@@ -189,7 +193,20 @@ func (w *wal) append(version uint64, inserts, deletes [][]int64) (int, error) {
 	}
 	nativeEndian.PutUint32(buf[0:4], uint32(plen))
 	nativeEndian.PutUint32(buf[4:8], crc(p))
+	// Injection sites: "store/<file>/append" for the record write (a
+	// KindShort persists a real torn prefix for recovery to truncate),
+	// "store/<file>/appendsync" for the fsync.
+	site := "store/" + filepath.Base(w.path)
+	if n, ierr := w.inj.WriteLen(site+"/append", len(buf)); ierr != nil {
+		if n > 0 {
+			w.f.Write(buf[:n])
+		}
+		return 0, ierr
+	}
 	if _, err := w.f.Write(buf); err != nil {
+		return 0, err
+	}
+	if err := w.inj.Check(site + "/appendsync"); err != nil {
 		return 0, err
 	}
 	if err := w.f.Sync(); err != nil {
@@ -206,6 +223,7 @@ func (w *wal) reset(gen, num uint64) error {
 	if err != nil {
 		return err
 	}
+	nw.inj = w.inj
 	*w = *nw
 	return nil
 }
